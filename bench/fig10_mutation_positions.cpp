@@ -1,0 +1,73 @@
+// Fig. 10 — Distribution of mutations within genes of a top 4-hit
+// combination: the paper contrasts IDH1 (a driver in brain low grade glioma:
+// 400 of 532 tumor samples mutate amino-acid position 132, while normal
+// samples show no such hotspot) with MUC6 (a passenger: positions spread
+// uniformly in both tumor and normal samples).
+//
+// The synthetic MAF substrate plants exactly this structure; this bench
+// regenerates the four panels as position histograms for one planted driver
+// gene and one passenger gene.
+
+#include <algorithm>
+#include <iostream>
+#include <numeric>
+
+#include "data/maf.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace multihit;
+
+void print_histogram(const MafStudy& study, std::uint32_t gene, bool tumor,
+                     const std::string& panel) {
+  const auto hist = position_histogram(study, gene, tumor);
+  const auto total = std::accumulate(hist.begin(), hist.end(), 0u);
+  print_section(std::cout, panel + " — gene " + study.genes[gene].symbol + ", " +
+                               (tumor ? "tumor" : "normal") + " samples (" +
+                               std::to_string(total) + " mutations)");
+  Table table({"amino-acid position", "mutations", "% of gene's mutations"});
+  table.set_precision(1);
+  for (std::uint32_t p = 0; p < hist.size(); ++p) {
+    if (hist[p] == 0) continue;  // figures plot only occupied positions
+    table.add_row({static_cast<long long>(p + 1), static_cast<long long>(hist[p]),
+                   total ? 100.0 * hist[p] / total : 0.0});
+  }
+  table.print(std::cout);
+}
+
+}  // namespace
+
+int main() {
+  using namespace multihit;
+  std::cout << "Reproduces paper Fig. 10 (driver hotspot vs passenger spread).\n";
+
+  SyntheticSpec spec;
+  spec.genes = 80;
+  spec.tumor_samples = 532;  // LGG's tumor count in the paper
+  spec.normal_samples = 329; // and its normal count
+  spec.hits = 4;
+  spec.num_combinations = 3;
+  spec.background_rate = 0.03;
+  spec.seed = 13232;  // IDH1's hotspot residue, for flavor
+  const MafStudy study = generate_maf_study(spec);
+
+  const std::uint32_t driver = study.planted[0][0];  // IDH1-like
+  std::uint32_t passenger = 0;                        // MUC6-like
+  while (study.genes[passenger].driver) ++passenger;
+
+  print_histogram(study, driver, /*tumor=*/true, "Fig. 10(a) driver");
+  print_histogram(study, driver, /*tumor=*/false, "Fig. 10(b) driver");
+  print_histogram(study, passenger, /*tumor=*/true, "Fig. 10(c) passenger");
+  print_histogram(study, passenger, /*tumor=*/false, "Fig. 10(d) passenger");
+
+  const auto tumor_hist = position_histogram(study, driver, true);
+  const auto hotspot = study.genes[driver].hotspot_position;
+  const auto total = std::accumulate(tumor_hist.begin(), tumor_hist.end(), 0u);
+  std::cout << "driver hotspot at position " << hotspot << " carries "
+            << (total ? 100.0 * tumor_hist[hotspot - 1] / total : 0.0)
+            << "% of tumor mutations; normal samples show no hotspot.\n"
+            << "[paper: IDH1 R132 mutated in 400/532 LGG tumors, 0/329 normals; "
+               "MUC6 spread uniformly]\n";
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Fig. 3 — Workload distribution per GPU for G = 50 and 5 nodes (30 GPUs),
+// 2x2 scheme:
+//  (a) per-thread workload with equi-distance partition boundaries,
+//  (b) equi-area partition boundaries,
+//  (c) workload per GPU under both schedulers.
+//
+// The figure's message: equal thread counts give wildly unequal areas under
+// the exponentially decaying workload curve; equi-area partitioning makes
+// per-GPU work nearly uniform.
+
+#include <iostream>
+
+#include "sched/schedule.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace multihit;
+  constexpr std::uint32_t kGenes = 50;
+  constexpr std::uint32_t kNodes = 5;
+  constexpr std::uint32_t kGpus = kNodes * 6;
+
+  std::cout << "Reproduces paper Fig. 3 (per-GPU workload, G = " << kGenes << ", " << kNodes
+            << " nodes = " << kGpus << " GPUs, 2x2 scheme).\n";
+
+  const auto model = WorkloadModel::for_scheme4(Scheme4::k2x2, kGenes);
+  const auto ed = equidistance_schedule(model, kGpus);
+  const auto ea = equiarea_schedule(model, kGpus);
+
+  print_section(std::cout, "Fig. 3(a)/(b) — partition boundaries (thread id ranges)");
+  Table bounds({"gpu", "ED begin", "ED end", "EA begin", "EA end"});
+  for (std::uint32_t g = 0; g < kGpus; ++g) {
+    bounds.add_row({static_cast<long long>(g), static_cast<long long>(ed[g].begin),
+                    static_cast<long long>(ed[g].end), static_cast<long long>(ea[g].begin),
+                    static_cast<long long>(ea[g].end)});
+  }
+  bounds.print(std::cout);
+
+  print_section(std::cout, "Fig. 3(c) — workload per GPU (combinations)");
+  const auto ed_work = schedule_work(model, ed);
+  const auto ea_work = schedule_work(model, ea);
+  Table work({"gpu", "equi-distance", "equi-area"});
+  work.set_precision(0);
+  for (std::uint32_t g = 0; g < kGpus; ++g) {
+    work.add_row({static_cast<long long>(g), ed_work[g], ea_work[g]});
+  }
+  work.print(std::cout);
+
+  const auto ed_stats = schedule_imbalance(model, ed);
+  const auto ea_stats = schedule_imbalance(model, ea);
+  std::cout << "total work C(" << kGenes << ",4) = "
+            << static_cast<unsigned long long>(model.total_work()) << "\n"
+            << "ED imbalance (max/mean) = " << ed_stats.imbalance
+            << ", EA imbalance = " << ea_stats.imbalance << "\n"
+            << "Shape check: ED front-loads GPU 0 with ~" << ed_work[0] / ea_work[0]
+            << "x the balanced share; EA areas are equal to within level granularity.\n";
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Fig. 7 — Compute utilization across MPI processes for the 3x1 scheme on
+// the BRCA dataset, 100-node run. The paper's point (§IV-D): after switching
+// from 2x2 to 3x1, utilization is balanced across all 600 GPUs — every
+// equi-area partition holds millions of light threads, so every device runs
+// at full occupancy and finishes together.
+
+#include <iostream>
+
+#include "cluster/model.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace multihit;
+  SummitConfig config;
+  config.nodes = 100;
+
+  ModelInputs inputs;  // BRCA defaults
+  inputs.first_iteration_only = true;
+
+  std::cout << "Reproduces paper Fig. 7 (per-GPU utilization, 3x1 scheme, BRCA, "
+            << config.units() << " GPUs).\n";
+  const ModeledRun run = model_cluster_run(config, inputs);
+  const auto& gpus = run.iterations.front().gpus;
+
+  double max_time = 0.0;
+  std::vector<double> utilization;
+  utilization.reserve(gpus.size());
+  for (const auto& g : gpus) max_time = std::max(max_time, g.time);
+  for (const auto& g : gpus) utilization.push_back(100.0 * g.time / max_time);
+
+  print_section(std::cout, "Fig. 7 — utilization sampled every 10th GPU");
+  Table table({"gpu", "utilization %", "occupancy %", "bound"});
+  table.set_precision(1);
+  for (std::size_t g = 0; g < gpus.size(); g += 10) {
+    table.add_row({static_cast<long long>(g), utilization[g], 100.0 * gpus[g].occupancy,
+                   std::string(gpus[g].memory_bound ? "memory" : "compute")});
+  }
+  table.print(std::cout);
+
+  std::cout << "utilization: mean = " << stats::mean(utilization)
+            << "%, min = " << stats::min(utilization) << "%, stddev = "
+            << stats::stddev(utilization) << "%\n"
+            << "Shape check vs paper: near-uniform utilization across all GPUs "
+               "(contrast with Fig. 6's 2x2 decay).\n";
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Contribution-2 ablation — idle threads and warp divergence.
+//
+// The paper's second contribution maps the upper-triangular / tetrahedral
+// index space to a dense linear thread id so no warp slot is wasted on the
+// idle j <= i half of a naive 2-D launch. This bench quantifies warp-issue
+// efficiency (useful work / issued warp-slots·work) for:
+//   - the naive G x G launch of the 3-hit Algorithm 1 (paper's baseline),
+//   - the linearized triangular mapping (2x1), and
+//   - the tetrahedral mapping (3x1) used for 4-hit,
+// at warp size 32 (V100).
+
+#include <iostream>
+
+#include "sched/divergence.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace multihit;
+  std::cout << "Quantifies paper contribution 2 (idle-thread elimination).\n";
+
+  print_section(std::cout, "Thread utilization and warp-issue efficiency, warp size 32");
+  Table table({"mapping", "G", "threads launched", "threads working",
+               "thread utilization", "work-time efficiency"});
+  table.set_precision(4);
+
+  auto add_row = [&](const std::string& name, std::uint32_t G, const DivergenceStats& s) {
+    table.add_row({name, static_cast<long long>(G),
+                   static_cast<long long>(s.launched_threads),
+                   static_cast<long long>(s.working_threads), s.thread_utilization,
+                   s.efficiency});
+  };
+
+  for (const std::uint32_t G : {256u, 1024u, 2048u}) {
+    add_row("naive GxG grid (3-hit, idle half)", G, naive_triangular_divergence(G, 32));
+
+    const auto tri_model = WorkloadModel::for_scheme3(Scheme3::k2x1, G);
+    add_row("linearized triangular (2x1)", G,
+            warp_divergence(tri_model, {0, tri_model.total_threads()}, 32));
+
+    const auto tet_model = WorkloadModel::for_scheme4(Scheme4::k3x1, G);
+    add_row("linearized tetrahedral (3x1)", G,
+            warp_divergence(tet_model, {0, tet_model.total_threads()}, 32));
+  }
+  table.print(std::cout);
+
+  std::cout << "Shape check vs paper: the naive grid leaves ~half its launched threads\n"
+               "idle (the j <= i half); the linear-index mappings launch > 99% working\n"
+               "threads and keep work-time divergence confined to warps straddling\n"
+               "workload-level boundaries.\n";
+  return 0;
+}

@@ -1,0 +1,116 @@
+// Extension — mutation-level combinations (paper §V).
+//
+// The paper's discussion shows gene-level combinations mix drivers (IDH1,
+// hotspot at R132) with passengers (MUC6, uniform positions) and proposes
+// searching combinations of specific mutation sites instead: ~4e5 rows
+// versus ~2e4 genes, i.e. a ~10^5-fold compute increase for 4-hit, possibly
+// addressed by (1) all 27,648 Summit GPUs and (3) restricting to recurrent
+// mutations.
+//
+// Part 1 runs the mutation-level pipeline functionally: the greedy engine on
+// site-level matrices picks driver *hotspot sites*, separating drivers from
+// passengers where the gene-level run cannot.
+// Part 2 prices 4-hit at mutation scale (G = 4e5) on 1000 nodes and on full
+// Summit (4608 nodes = 27,648 GPUs) with the analytic model, plus the
+// recurrence-threshold mitigation.
+
+#include <cmath>
+#include <iostream>
+
+#include "cluster/model.hpp"
+#include "core/engine.hpp"
+#include "data/mutation_level.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace multihit;
+  std::cout << "Extension: mutation-level combinations (paper §V).\n";
+
+  // ---- Part 1: functional driver/passenger separation ----
+  SyntheticSpec spec;
+  spec.genes = 40;
+  spec.tumor_samples = 90;
+  spec.normal_samples = 60;
+  spec.hits = 3;
+  spec.num_combinations = 3;
+  spec.background_rate = 0.015;
+  spec.seed = 777;
+  const MafStudy study = generate_maf_study(spec);
+  const MutationLevelData ml = build_mutation_level(study, 2);
+
+  EngineConfig config;
+  config.hits = 3;
+  const GreedyResult gene_level = run_greedy(summarize_maf(study).tumor,
+                                             summarize_maf(study).normal, config,
+                                             make_kernel_evaluator(3));
+  const GreedyResult site_level =
+      run_greedy(ml.data.tumor, ml.data.normal, config, make_kernel_evaluator(3));
+
+  auto hotspot_fraction = [&](const GreedyResult& result, bool sites) {
+    std::size_t hot = 0, total = 0;
+    for (const auto& it : result.iterations) {
+      for (const std::uint32_t row : it.genes) {
+        ++total;
+        if (sites) {
+          const MutationSite& site = ml.sites[row];
+          const GeneInfo& info = study.genes[site.gene];
+          hot += (info.driver && site.position == info.hotspot_position) ? 1 : 0;
+        } else {
+          hot += study.genes[row].driver ? 1 : 0;
+        }
+      }
+    }
+    return total ? static_cast<double>(hot) / static_cast<double>(total) : 0.0;
+  };
+
+  print_section(std::cout, "Gene-level vs mutation-level discovery (functional)");
+  Table part1({"granularity", "rows in matrix", "combos selected",
+               "driver(-hotspot) fraction of selected rows"});
+  part1.add_row({std::string("gene-level"), static_cast<long long>(spec.genes),
+                 static_cast<long long>(gene_level.iterations.size()),
+                 hotspot_fraction(gene_level, false)});
+  part1.add_row({std::string("mutation-level (recurrence >= 2)"),
+                 static_cast<long long>(ml.sites.size()),
+                 static_cast<long long>(site_level.iterations.size()),
+                 hotspot_fraction(site_level, true)});
+  part1.print(std::cout);
+  std::cout << "[paper: gene-level combinations include passengers like MUC6;\n"
+               " mutation-level search should isolate IDH1-R132-like hotspot sites]\n";
+
+  // ---- Part 2: paper-scale cost projection ----
+  print_section(std::cout, "4-hit cost projection, gene level vs mutation level (modeled)");
+  ModelInputs genes_in;  // BRCA gene level
+  genes_in.first_iteration_only = true;
+
+  ModelInputs sites_in = genes_in;
+  sites_in.genes = 400000;  // ~4e5 protein-altering mutation sites (paper §V)
+  sites_in.tumor_samples = 911;
+  sites_in.normal_samples = 520;
+
+  ModelInputs recurrent_in = sites_in;
+  recurrent_in.genes = 40000;  // strategy 3: recurrent sites only (~10x cut)
+
+  Table part2({"input rows", "nodes", "GPUs", "modeled first-iteration time"});
+  auto add = [&](const char* label, const ModelInputs& in, std::uint32_t nodes) {
+    SummitConfig cfg;
+    cfg.nodes = nodes;
+    const auto run = model_cluster_run(cfg, in);
+    const double t = run.total_time;
+    const std::string pretty = t > 2 * 86400.0 ? std::to_string(t / 86400.0) + " days"
+                                               : std::to_string(t / 3600.0) + " h";
+    part2.add_row({std::string(label), static_cast<long long>(nodes),
+                   static_cast<long long>(nodes * 6), pretty});
+  };
+  add("19411 genes", genes_in, 1000);
+  add("400000 mutation sites", sites_in, 1000);
+  add("400000 mutation sites", sites_in, 4608);  // full Summit, strategy 1
+  add("40000 recurrent sites", recurrent_in, 4608);  // + strategy 3
+  part2.print(std::cout);
+
+  const double ratio = std::pow(400000.0 / 19411.0, 4);
+  std::cout << "work ratio (4e5/1.94e4)^4 = " << ratio
+            << " [paper: ~1e5x speedup required beyond the current code]\n"
+            << "Full Summit (strategy 1) plus recurrence restriction (strategy 3)\n"
+               "brings mutation-level 4-hit back into allocation-sized runs.\n";
+  return 0;
+}

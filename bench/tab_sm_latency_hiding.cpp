@@ -1,0 +1,66 @@
+// SM-level latency hiding from first principles.
+//
+// The analytic V100 model prices memory time through mem_eff = floor +
+// (1-floor)·occupancy^kappa. This bench derives the same curve from the
+// cycle-level warp-scheduler simulation (gpusim/smsim.hpp): request
+// throughput versus resident warps, for a pure-load stream and for the
+// enumeration kernels' actual compute/load mix. It is the mechanism behind
+// Fig. 6: 2x2 partitions with few heavy threads sit on the left of this
+// curve; 3x1 partitions sit at saturation.
+
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "gpusim/perfmodel.hpp"
+#include "gpusim/smsim.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace multihit;
+  std::cout << "Cycle-level SM simulation vs the analytic latency-hiding law.\n";
+
+  SmConfig config;
+  config.memory_latency = 400;
+  config.max_outstanding_requests = 64;
+
+  const DeviceSpec analytic = DeviceSpec::v100();
+
+  print_section(std::cout, "Request throughput vs resident warps (pure load stream)");
+  Table table({"resident warps", "occupancy", "simulated rate (req/cycle)",
+               "simulated / saturated", "analytic mem_eff(occupancy)"});
+  const double ceiling =
+      static_cast<double>(config.max_outstanding_requests) / config.memory_latency;
+  for (const std::size_t warp_count : {1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
+    std::vector<WarpWork> warps(warp_count, WarpWork{0, 200});
+    const SmResult r = simulate_sm(config, warps);
+    const double occupancy = static_cast<double>(warp_count) / config.max_resident_warps;
+    const double analytic_eff =
+        analytic.mem_eff_floor +
+        (1.0 - analytic.mem_eff_floor) * std::pow(occupancy, analytic.occupancy_exponent);
+    table.add_row({static_cast<long long>(warp_count), occupancy, r.request_rate,
+                   r.request_rate / ceiling, analytic_eff});
+  }
+  table.print(std::cout);
+
+  print_section(std::cout, "Stall taxonomy for the kernels' compute/load mix (Fig. 6c analogue)");
+  Table stalls({"resident warps", "issue efficiency", "stall mem-dep %", "stall throttle %",
+                "stall exec-dep %"});
+  stalls.set_precision(1);
+  for (const std::size_t warp_count : {2u, 8u, 32u, 64u}) {
+    // ~24 AND+popcount word ops per row load, the 3x1 kernel's mix.
+    std::vector<WarpWork> warps(warp_count, WarpWork{4800, 200});
+    const SmResult r = simulate_sm(config, warps);
+    const double c = static_cast<double>(r.cycles);
+    stalls.add_row({static_cast<long long>(warp_count), r.issue_efficiency,
+                    100.0 * r.stall_memory_dependency / c,
+                    100.0 * r.stall_memory_throttle / c,
+                    100.0 * r.stall_execution_dependency / c});
+  }
+  stalls.print(std::cout);
+  std::cout << "Shape check: throughput rises monotonically and concavely with\n"
+               "occupancy and saturates at max_outstanding/latency — the law the\n"
+               "analytic model assumes; memory-dependency stalls dominate at low\n"
+               "occupancy exactly as the paper observes on the slow 2x2 GPUs.\n";
+  return 0;
+}

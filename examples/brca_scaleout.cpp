@@ -1,0 +1,82 @@
+// BRCA scale-out: the paper's headline experiment end-to-end.
+//
+//   $ ./examples/brca_scaleout [nodes]
+//
+// Part 1 runs the *functional* distributed pipeline (equi-area schedule ->
+// per-GPU maxF + parallelReduceMax -> node merge -> MPI reduce) on a
+// BRCA-like functional-scale dataset across the requested number of
+// simulated Summit nodes (default 4), verifying it selects exactly the
+// serial engine's combinations.
+//
+// Part 2 prices the same pipeline at full paper scale (G = 19411, 911 tumor
+// samples) on 100-1000 nodes with the analytic machine model — the Fig. 4(a)
+// strong-scaling curve.
+
+#include <cstdlib>
+#include <iostream>
+
+#include "cluster/distributed.hpp"
+#include "cluster/scaling.hpp"
+#include "core/engine.hpp"
+#include "data/registry.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace multihit;
+  const std::uint32_t nodes = argc > 1 ? static_cast<std::uint32_t>(std::atoi(argv[1])) : 4;
+  if (nodes == 0 || nodes > 1024) {
+    std::cerr << "nodes must be in [1, 1024]\n";
+    return 1;
+  }
+
+  // A BRCA-shaped 4-hit downscale: the registry's BRCA entry is 2-hit (as
+  // the paper estimates), so the scale-out demo plants 4-hit combinations at
+  // BRCA-like sample counts instead.
+  SyntheticSpec spec;
+  spec.genes = 90;
+  spec.tumor_samples = 120;
+  spec.normal_samples = 80;
+  spec.hits = 4;
+  spec.num_combinations = 5;
+  spec.background_rate = 0.012;
+  spec.seed = 911;
+  Dataset data = generate_dataset(spec);
+  data.name = "BRCA-4hit-downscale";
+
+  std::cout << "Part 1 — functional distributed run: " << data.name << " (G="
+            << data.genes() << "), " << nodes << " nodes (" << nodes * 6
+            << " simulated V100s), 4-hit.\n";
+
+  DistributedOptions options;  // 4-hit, 3x1, EA, both prefetches, splicing
+  SummitConfig config;
+  config.nodes = nodes;
+  const ClusterRunner runner(config);
+  const ClusterRunResult distributed = runner.run(data, options);
+
+  EngineConfig serial_config;
+  serial_config.hits = 4;
+  const GreedyResult serial =
+      run_greedy(data.tumor, data.normal, serial_config, make_serial_evaluator(4));
+
+  const bool identical = distributed.greedy.combinations() == serial.combinations();
+  std::cout << "  combinations selected: " << distributed.greedy.iterations.size()
+            << " (serial reference: " << serial.iterations.size() << ") -> "
+            << (identical ? "IDENTICAL" : "MISMATCH!") << "\n"
+            << "  modeled wall time: " << distributed.total_time << " s ("
+            << distributed.iterations.size() << " iterations + schedule "
+            << distributed.schedule_time << " s + job overhead)\n";
+  if (!identical) return 1;
+
+  std::cout << "\nPart 2 — paper-scale strong scaling (analytic model, BRCA G=19411):\n";
+  ModelInputs inputs;  // paper-scale BRCA defaults
+  const std::vector<std::uint32_t> fleet{100, 200, 400, 600, 800, 1000};
+  const auto points = strong_scaling(SummitConfig{}, inputs, fleet);
+  Table table({"nodes", "GPUs", "modeled time (s)", "efficiency vs 100"});
+  for (const auto& p : points) {
+    table.add_row({static_cast<long long>(p.nodes), static_cast<long long>(p.nodes * 6),
+                   p.time, p.efficiency});
+  }
+  table.print(std::cout);
+  std::cout << "[paper: 84.18% at 1000 nodes, 90.14% average for 200-1000]\n";
+  return 0;
+}

@@ -1,0 +1,56 @@
+#include "bitmat/bitops.hpp"
+
+#include <bit>
+#include <cassert>
+
+namespace multihit {
+
+std::uint64_t popcount_row(std::span<const std::uint64_t> a) noexcept {
+  std::uint64_t count = 0;
+  for (std::uint64_t word : a) count += static_cast<std::uint64_t>(std::popcount(word));
+  return count;
+}
+
+std::uint64_t and_popcount(std::span<const std::uint64_t> a,
+                           std::span<const std::uint64_t> b) noexcept {
+  assert(a.size() == b.size());
+  std::uint64_t count = 0;
+  for (std::size_t w = 0; w < a.size(); ++w) {
+    count += static_cast<std::uint64_t>(std::popcount(a[w] & b[w]));
+  }
+  return count;
+}
+
+std::uint64_t and_popcount(std::span<const std::uint64_t> a, std::span<const std::uint64_t> b,
+                           std::span<const std::uint64_t> c) noexcept {
+  assert(a.size() == b.size() && b.size() == c.size());
+  std::uint64_t count = 0;
+  for (std::size_t w = 0; w < a.size(); ++w) {
+    count += static_cast<std::uint64_t>(std::popcount(a[w] & b[w] & c[w]));
+  }
+  return count;
+}
+
+std::uint64_t and_popcount(std::span<const std::uint64_t> a, std::span<const std::uint64_t> b,
+                           std::span<const std::uint64_t> c,
+                           std::span<const std::uint64_t> d) noexcept {
+  assert(a.size() == b.size() && b.size() == c.size() && c.size() == d.size());
+  std::uint64_t count = 0;
+  for (std::size_t w = 0; w < a.size(); ++w) {
+    count += static_cast<std::uint64_t>(std::popcount(a[w] & b[w] & c[w] & d[w]));
+  }
+  return count;
+}
+
+void and_rows(std::span<std::uint64_t> dst, std::span<const std::uint64_t> a,
+              std::span<const std::uint64_t> b) noexcept {
+  assert(dst.size() == a.size() && a.size() == b.size());
+  for (std::size_t w = 0; w < dst.size(); ++w) dst[w] = a[w] & b[w];
+}
+
+void and_rows_inplace(std::span<std::uint64_t> dst, std::span<const std::uint64_t> a) noexcept {
+  assert(dst.size() == a.size());
+  for (std::size_t w = 0; w < dst.size(); ++w) dst[w] &= a[w];
+}
+
+}  // namespace multihit

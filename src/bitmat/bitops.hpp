@@ -1,0 +1,40 @@
+#pragma once
+// Word-level kernels over packed sample rows.
+//
+// The paper packs 64 samples per `unsigned long long` (a 32x memory
+// reduction versus one int per sample) and replaces per-sample arithmetic
+// with bitwise AND + popcount. These free functions are the arithmetic core
+// of every enumeration kernel; they are deliberately branch-free loops the
+// compiler can vectorize.
+
+#include <cstdint>
+#include <span>
+
+namespace multihit {
+
+/// popcount over one row.
+std::uint64_t popcount_row(std::span<const std::uint64_t> a) noexcept;
+
+/// popcount(a & b). Rows must be the same length.
+std::uint64_t and_popcount(std::span<const std::uint64_t> a,
+                           std::span<const std::uint64_t> b) noexcept;
+
+/// popcount(a & b & c).
+std::uint64_t and_popcount(std::span<const std::uint64_t> a, std::span<const std::uint64_t> b,
+                           std::span<const std::uint64_t> c) noexcept;
+
+/// popcount(a & b & c & d).
+std::uint64_t and_popcount(std::span<const std::uint64_t> a, std::span<const std::uint64_t> b,
+                           std::span<const std::uint64_t> c,
+                           std::span<const std::uint64_t> d) noexcept;
+
+/// dst = a & b. The prefetch step of MemOpt1/MemOpt2: a thread with fixed
+/// (i, j) ANDs those rows once into thread-local storage instead of
+/// re-reading both from global memory on every inner iteration.
+void and_rows(std::span<std::uint64_t> dst, std::span<const std::uint64_t> a,
+              std::span<const std::uint64_t> b) noexcept;
+
+/// dst &= a, in place.
+void and_rows_inplace(std::span<std::uint64_t> dst, std::span<const std::uint64_t> a) noexcept;
+
+}  // namespace multihit

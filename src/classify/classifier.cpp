@@ -1,0 +1,64 @@
+#include "classify/classifier.hpp"
+
+namespace multihit {
+
+CombinationClassifier::CombinationClassifier(
+    std::vector<std::vector<std::uint32_t>> combinations)
+    : combinations_(std::move(combinations)) {}
+
+bool CombinationClassifier::predict_tumor(const BitMatrix& matrix,
+                                          std::uint32_t sample) const noexcept {
+  for (const auto& combo : combinations_) {
+    bool all_mutated = true;
+    for (std::uint32_t gene : combo) {
+      if (!matrix.get(gene, sample)) {
+        all_mutated = false;
+        break;
+      }
+    }
+    if (all_mutated && !combo.empty()) return true;
+  }
+  return false;
+}
+
+double ClassificationReport::sensitivity() const noexcept {
+  const std::uint64_t positives = true_positives + false_negatives;
+  return positives == 0 ? 0.0
+                        : static_cast<double>(true_positives) / static_cast<double>(positives);
+}
+
+double ClassificationReport::specificity() const noexcept {
+  const std::uint64_t negatives = true_negatives + false_positives;
+  return negatives == 0 ? 0.0
+                        : static_cast<double>(true_negatives) / static_cast<double>(negatives);
+}
+
+stats::Interval ClassificationReport::sensitivity_ci() const {
+  return stats::wilson_interval(true_positives, true_positives + false_negatives);
+}
+
+stats::Interval ClassificationReport::specificity_ci() const {
+  return stats::wilson_interval(true_negatives, true_negatives + false_positives);
+}
+
+ClassificationReport evaluate_classifier(const CombinationClassifier& classifier,
+                                         const Dataset& data) {
+  ClassificationReport report;
+  for (std::uint32_t s = 0; s < data.tumor_samples(); ++s) {
+    if (classifier.predict_tumor(data.tumor, s)) {
+      ++report.true_positives;
+    } else {
+      ++report.false_negatives;
+    }
+  }
+  for (std::uint32_t s = 0; s < data.normal_samples(); ++s) {
+    if (classifier.predict_tumor(data.normal, s)) {
+      ++report.false_positives;
+    } else {
+      ++report.true_negatives;
+    }
+  }
+  return report;
+}
+
+}  // namespace multihit

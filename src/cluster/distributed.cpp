@@ -1,0 +1,144 @@
+#include "cluster/distributed.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "gpusim/device.hpp"
+#include "sched/memaware.hpp"
+#include "sched/workload.hpp"
+
+namespace multihit {
+
+namespace {
+
+WorkloadModel make_model(const DistributedOptions& options, std::uint32_t genes) {
+  switch (options.hits) {
+    case 2:
+      return WorkloadModel::for_scheme2(options.scheme2, genes);
+    case 3:
+      return WorkloadModel::for_scheme3(options.scheme3, genes);
+    case 5:
+      return WorkloadModel::for_scheme5(options.scheme5, genes);
+    default:
+      return WorkloadModel::for_scheme4(options.scheme4, genes);
+  }
+}
+
+DeviceRunResult run_device(const GpuDevice& device, const DistributedOptions& options,
+                           const BitMatrix& tumor, const BitMatrix& normal,
+                           const FContext& ctx, const Partition& partition) {
+  switch (options.hits) {
+    case 2:
+      return device.run_2hit(tumor, normal, ctx, options.scheme2, partition,
+                             options.mem_opts);
+    case 3:
+      return device.run_3hit(tumor, normal, ctx, options.scheme3, partition,
+                             options.mem_opts);
+    case 5:
+      return device.run_5hit(tumor, normal, ctx, options.scheme5, partition,
+                             options.mem_opts);
+    default:
+      return device.run_4hit(tumor, normal, ctx, options.scheme4, partition,
+                             options.mem_opts);
+  }
+}
+
+}  // namespace
+
+ClusterRunResult ClusterRunner::run(const Dataset& data,
+                                    const DistributedOptions& options) const {
+  if (options.hits < 2 || options.hits > 5) {
+    throw std::invalid_argument("ClusterRunner supports hits in [2, 5]");
+  }
+
+  ClusterRunResult result;
+  const std::uint32_t units = config_.units();
+  const GpuDevice device(config_.device);
+
+  // The workload model and schedule depend only on G, which never changes
+  // across iterations (BitSplicing removes samples, not genes) — built once,
+  // exactly as rank 0 does in the paper.
+  const WorkloadModel model = make_model(options, data.genes());
+  std::vector<Partition> schedule;
+  switch (options.scheduler) {
+    case SchedulerKind::kEquiDistance:
+      schedule = equidistance_schedule(model, units);
+      break;
+    case SchedulerKind::kEquiArea:
+      schedule = equiarea_schedule(model, units);
+      break;
+    case SchedulerKind::kMemoryAware:
+      schedule =
+          memaware_schedule(model, units, memory_cost_weights(options.hits, options.mem_opts));
+      break;
+  }
+  result.schedule_time =
+      static_cast<double>(model.levels().size()) * config_.schedule_seconds_per_level;
+
+  // The Evaluator closure is one distributed iteration: steps 2-4 of the
+  // header comment. The engine supplies the greedy loop and BitSplicing.
+  const Evaluator evaluator = [&](const BitMatrix& tumor, const BitMatrix& normal,
+                                  const FContext& ctx) -> EvalResult {
+    IterationTelemetry telemetry;
+    telemetry.gpus.resize(units);
+    telemetry.rank_compute.assign(config_.nodes, 0.0);
+    telemetry.rank_comm.assign(config_.nodes, 0.0);
+
+    SimComm comm(config_.nodes, config_.comm);
+    std::vector<EvalResult> rank_candidates(config_.nodes);
+
+    for (std::uint32_t node = 0; node < config_.nodes; ++node) {
+      EvalResult node_best;
+      double node_time = 0.0;  // the node's GPUs run concurrently
+      for (std::uint32_t g = 0; g < config_.gpus_per_node; ++g) {
+        const std::uint32_t unit = node * config_.gpus_per_node + g;
+        const DeviceRunResult run =
+            run_device(device, options, tumor, normal, ctx, schedule[unit]);
+        GpuTiming timing = run.timing;
+        timing.time *= config_.jitter_factor(unit) * config_.noise_factor();
+        telemetry.gpus[unit] = timing;
+        telemetry.candidate_bytes_total += run.candidate_bytes;
+        telemetry.combinations += run.stats.combinations;
+        node_best = merge_results(node_best, run.best);
+        node_time = std::max(node_time, timing.time);
+      }
+      rank_candidates[node] = node_best;
+      comm.compute(node, node_time);
+    }
+
+    // One 20-byte candidate per rank to rank 0, then the winner back out.
+    const EvalResult best =
+        comm.reduce(std::span<const EvalResult>(rank_candidates), 0, kCandidateBytes,
+                    [](const EvalResult& a, const EvalResult& b) { return merge_results(a, b); });
+    comm.broadcast(0, kCandidateBytes);
+
+    telemetry.best = best;
+    telemetry.iteration_time = comm.finish_time();
+    for (std::uint32_t node = 0; node < config_.nodes; ++node) {
+      telemetry.rank_compute[node] = comm.compute_time(node);
+      telemetry.rank_comm[node] = comm.comm_time(node);
+    }
+
+    // Host-side BitSplicing bookkeeping happens on every rank after the
+    // broadcast; charge it to the iteration.
+    telemetry.iteration_time += static_cast<double>(tumor.genes()) * tumor.words_per_row() /
+                                config_.host_word_rate;
+
+    result.iterations.push_back(std::move(telemetry));
+    return best;
+  };
+
+  EngineConfig engine;
+  engine.hits = options.hits;
+  engine.bit_splicing = options.bit_splicing;
+  engine.max_iterations = options.max_iterations;
+  result.greedy = run_greedy(data.tumor, data.normal, engine, evaluator);
+
+  // The engine may call the evaluator one final time and then stop (best
+  // covers nothing); that evaluation still costs time and stays recorded.
+  result.total_time = config_.job_overhead() + result.schedule_time;
+  for (const auto& it : result.iterations) result.total_time += it.iteration_time;
+  return result;
+}
+
+}  // namespace multihit

@@ -1,0 +1,50 @@
+#include "cluster/scaling.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace multihit {
+
+std::vector<ScalingPoint> strong_scaling(const SummitConfig& base, const ModelInputs& inputs,
+                                         std::span<const std::uint32_t> node_counts) {
+  if (node_counts.empty()) throw std::invalid_argument("need at least one node count");
+  std::vector<ScalingPoint> points;
+  points.reserve(node_counts.size());
+  for (const std::uint32_t nodes : node_counts) {
+    SummitConfig config = base;
+    config.nodes = nodes;
+    const ModeledRun run = model_cluster_run(config, inputs);
+    points.push_back({nodes, inputs.genes, run.total_time, 0.0});
+  }
+  const double baseline = points.front().time * points.front().nodes;
+  for (auto& p : points) p.efficiency = baseline / (p.time * p.nodes);
+  return points;
+}
+
+std::vector<ScalingPoint> weak_scaling(const SummitConfig& base, const ModelInputs& inputs,
+                                       std::span<const std::uint32_t> node_counts) {
+  if (node_counts.empty()) throw std::invalid_argument("need at least one node count");
+  std::vector<ScalingPoint> points;
+  points.reserve(node_counts.size());
+  const double g0 = inputs.genes;
+  const double n0 = node_counts.front();
+  // Workload is C(G, h) ~ G^h, so constant per-GPU work needs G ~ P^(1/h).
+  const double exponent = 1.0 / static_cast<double>(inputs.hits);
+  for (const std::uint32_t nodes : node_counts) {
+    SummitConfig config = base;
+    config.nodes = nodes;
+    ModelInputs scaled = inputs;
+    scaled.first_iteration_only = true;
+    scaled.genes =
+        static_cast<std::uint32_t>(std::llround(g0 * std::pow(nodes / n0, exponent)));
+    const ModeledRun run = model_cluster_run(config, scaled);
+    points.push_back({nodes, scaled.genes, run.total_time, 0.0});
+  }
+  // Weak-scaling efficiency: baseline time over this point's time (per-GPU
+  // work is constant, so ideal scaling keeps time flat).
+  const double baseline = points.front().time;
+  for (auto& p : points) p.efficiency = baseline / p.time;
+  return points;
+}
+
+}  // namespace multihit

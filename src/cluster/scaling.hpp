@@ -1,0 +1,37 @@
+#pragma once
+// Strong/weak scaling harness (paper §IV-A, Fig. 4).
+//
+// Strong scaling: fixed problem, growing fleet; efficiency at N nodes is
+// T(baseline) * baseline / (T(N) * N).
+//
+// Weak scaling: fixed work per GPU, growing fleet. The 4-hit workload is
+// C(G,4), so holding per-GPU work constant means G(N) = G0 * (N/N0)^(1/4);
+// runs are limited to the first greedy iteration exactly as in the paper
+// (later iterations produce data-dependent workloads).
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "cluster/model.hpp"
+
+namespace multihit {
+
+struct ScalingPoint {
+  std::uint32_t nodes = 0;
+  std::uint32_t genes = 0;      ///< problem size used at this point
+  double time = 0.0;            ///< modeled wall seconds
+  double efficiency = 0.0;      ///< relative to the first (baseline) point
+};
+
+/// Runs `inputs` on every fleet size in `node_counts` (first entry is the
+/// baseline, the paper uses 100 nodes).
+std::vector<ScalingPoint> strong_scaling(const SummitConfig& base, const ModelInputs& inputs,
+                                         std::span<const std::uint32_t> node_counts);
+
+/// Weak scaling: scales G to hold per-GPU combinations constant and runs the
+/// first iteration only.
+std::vector<ScalingPoint> weak_scaling(const SummitConfig& base, const ModelInputs& inputs,
+                                       std::span<const std::uint32_t> node_counts);
+
+}  // namespace multihit

@@ -1,0 +1,25 @@
+#include "cluster/summit.hpp"
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace multihit {
+
+double SummitConfig::job_overhead() const noexcept {
+  return job_fixed_overhead + job_log_overhead * std::log2(static_cast<double>(units()));
+}
+
+double SummitConfig::noise_factor() const noexcept {
+  if (units() <= 1) return 1.0;
+  return 1.0 + system_noise_log_pct / 100.0 * std::log2(static_cast<double>(units()));
+}
+
+double SummitConfig::jitter_factor(std::uint32_t gpu_index) const noexcept {
+  std::uint64_t state = jitter_seed ^ (0x9e3779b97f4a7c15ULL * (gpu_index + 1));
+  const double u =
+      static_cast<double>(splitmix64(state) >> 11) * 0x1.0p-53;  // uniform [0,1)
+  return 1.0 + gpu_jitter * u;
+}
+
+}  // namespace multihit

@@ -1,0 +1,39 @@
+#include "combinat/binomial.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace multihit {
+
+std::optional<u128> binomial128(u64 n, u64 k) noexcept {
+  if (k > n) return u128{0};
+  if (k > n - k) k = n - k;
+  u128 result = 1;
+  for (u64 i = 1; i <= k; ++i) {
+    const u128 numerator = static_cast<u128>(n - k + i);
+    // result * numerator / i is always exact because the running product of
+    // i consecutive terms is divisible by i!. Check for overflow first.
+    const u128 max128 = ~u128{0};
+    if (result > max128 / numerator) return std::nullopt;
+    result = result * numerator / static_cast<u128>(i);
+  }
+  return result;
+}
+
+std::optional<u64> binomial_checked(u64 n, u64 k) noexcept {
+  const auto wide = binomial128(n, k);
+  if (!wide || *wide > static_cast<u128>(~u64{0})) return std::nullopt;
+  return static_cast<u64>(*wide);
+}
+
+u64 binomial(u64 n, u64 k) noexcept {
+  const auto value = binomial_checked(n, k);
+  if (!value) {
+    std::fprintf(stderr, "binomial(%llu, %llu) overflows u64\n",
+                 static_cast<unsigned long long>(n), static_cast<unsigned long long>(k));
+    std::abort();
+  }
+  return *value;
+}
+
+}  // namespace multihit

@@ -1,0 +1,134 @@
+#include "core/checkpoint.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace multihit {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& why) {
+  throw std::runtime_error("malformed checkpoint: " + why);
+}
+
+void append(GreedyResult& base, GreedyResult&& extra) {
+  for (auto& it : extra.iterations) base.iterations.push_back(std::move(it));
+  base.uncovered_tumor = extra.uncovered_tumor;
+}
+
+}  // namespace
+
+CheckpointState run_greedy_checkpointed(BitMatrix tumor, const BitMatrix& normal,
+                                        const EngineConfig& config, const Evaluator& evaluator,
+                                        std::uint32_t iterations_this_allocation) {
+  CheckpointState state;
+  state.hits = config.hits;
+  state.bit_splicing = config.bit_splicing;
+  EngineConfig bounded = config;
+  bounded.max_iterations = iterations_this_allocation;
+  state.progress = run_greedy(std::move(tumor), normal, bounded, evaluator, &state.tumor);
+  return state;
+}
+
+void resume_greedy(CheckpointState& state, const BitMatrix& normal, const Evaluator& evaluator,
+                   std::uint32_t iterations_this_allocation) {
+  EngineConfig config;
+  config.hits = state.hits;
+  config.bit_splicing = state.bit_splicing;
+  config.max_iterations = iterations_this_allocation;
+  GreedyResult extra =
+      run_greedy(std::move(state.tumor), normal, config, evaluator, &state.tumor);
+  append(state.progress, std::move(extra));
+}
+
+void write_checkpoint(std::ostream& out, const CheckpointState& state) {
+  // F values must survive the round trip bit-exactly (resume comparisons and
+  // the deterministic tie-break depend on them).
+  out << std::setprecision(17);
+  out << "multihit-checkpoint v1\n";
+  out << "hits " << state.hits << '\n';
+  out << "bit-splicing " << (state.bit_splicing ? 1 : 0) << '\n';
+  out << "uncovered " << state.progress.uncovered_tumor << '\n';
+  out << "iterations " << state.progress.iterations.size() << '\n';
+  for (const IterationRecord& it : state.progress.iterations) {
+    out << "iter " << it.f << ' ' << it.tp << ' ' << it.tn << ' '
+        << it.tumor_remaining_before << ' ' << it.tumor_remaining_after;
+    for (const std::uint32_t g : it.genes) out << ' ' << g;
+    out << '\n';
+  }
+  out << "tumor " << state.tumor.genes() << ' ' << state.tumor.samples() << '\n';
+  for (std::uint32_t g = 0; g < state.tumor.genes(); ++g) {
+    for (std::uint32_t s = 0; s < state.tumor.samples(); ++s) {
+      if (state.tumor.get(g, s)) out << "b " << g << ' ' << s << '\n';
+    }
+  }
+  out << "end\n";
+  if (!out) throw std::ios_base::failure("error writing checkpoint");
+}
+
+CheckpointState read_checkpoint(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line) || line != "multihit-checkpoint v1") fail("bad magic line");
+
+  CheckpointState state;
+  auto expect = [&](const std::string& key) -> std::istringstream {
+    if (!std::getline(in, line)) fail("truncated header");
+    if (line.rfind(key + " ", 0) != 0) fail("expected '" + key + "'");
+    return std::istringstream(line.substr(key.size() + 1));
+  };
+
+  expect("hits") >> state.hits;
+  int splice = 1;
+  expect("bit-splicing") >> splice;
+  state.bit_splicing = splice != 0;
+  expect("uncovered") >> state.progress.uncovered_tumor;
+  std::size_t iteration_count = 0;
+  expect("iterations") >> iteration_count;
+
+  for (std::size_t i = 0; i < iteration_count; ++i) {
+    if (!std::getline(in, line)) fail("truncated iteration list");
+    std::istringstream tokens(line);
+    std::string tag;
+    IterationRecord record;
+    if (!(tokens >> tag >> record.f >> record.tp >> record.tn >>
+          record.tumor_remaining_before >> record.tumor_remaining_after) ||
+        tag != "iter") {
+      fail("bad iteration line: " + line);
+    }
+    std::uint32_t gene = 0;
+    while (tokens >> gene) record.genes.push_back(gene);
+    if (record.genes.size() != state.hits) fail("iteration gene count mismatch");
+    state.progress.iterations.push_back(std::move(record));
+  }
+
+  std::uint32_t genes = 0, samples = 0;
+  expect("tumor") >> genes >> samples;
+  state.tumor = BitMatrix(genes, samples);
+  while (std::getline(in, line)) {
+    if (line == "end") return state;
+    if (line.empty()) continue;
+    std::istringstream tokens(line);
+    char tag = 0;
+    std::uint32_t g = 0, s = 0;
+    if (!(tokens >> tag >> g >> s) || tag != 'b') fail("bad bit line: " + line);
+    if (g >= genes || s >= samples) fail("bit out of range");
+    state.tumor.set(g, s);
+  }
+  fail("missing 'end' marker");
+}
+
+void save_checkpoint(const std::string& path, const CheckpointState& state) {
+  std::ofstream out(path);
+  if (!out) throw std::ios_base::failure("cannot open for write: " + path);
+  write_checkpoint(out, state);
+}
+
+CheckpointState load_checkpoint(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::ios_base::failure("cannot open for read: " + path);
+  return read_checkpoint(in);
+}
+
+}  // namespace multihit

@@ -1,0 +1,45 @@
+#pragma once
+// Checkpoint/restart for the greedy engine.
+//
+// Summit allocations are time-boxed — the paper's whole baseline choice
+// (100 nodes, §IV-A) exists because smaller runs exceed the 2-hour limit.
+// A production deployment therefore needs to stop after N iterations,
+// persist the greedy state (selections so far + the spliced tumor matrix),
+// and resume in a later allocation. State is a plain-text stream compatible
+// with the repository's other formats.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "core/engine.hpp"
+
+namespace multihit {
+
+struct CheckpointState {
+  std::uint32_t hits = 4;
+  bool bit_splicing = true;
+  GreedyResult progress;  ///< iterations completed so far
+  BitMatrix tumor;        ///< tumor matrix after those iterations
+};
+
+/// Runs up to `iterations_this_allocation` greedy iterations (0 = to
+/// completion) and returns the resumable state.
+CheckpointState run_greedy_checkpointed(BitMatrix tumor, const BitMatrix& normal,
+                                        const EngineConfig& config, const Evaluator& evaluator,
+                                        std::uint32_t iterations_this_allocation);
+
+/// Continues a checkpointed run for up to `iterations_this_allocation` more
+/// iterations (0 = to completion), updating `state` in place. The normal
+/// matrix is identical across allocations (it never shrinks).
+void resume_greedy(CheckpointState& state, const BitMatrix& normal, const Evaluator& evaluator,
+                   std::uint32_t iterations_this_allocation = 0);
+
+/// Serialization ("multihit-checkpoint v1"). Throws on I/O errors or
+/// malformed input.
+void write_checkpoint(std::ostream& out, const CheckpointState& state);
+CheckpointState read_checkpoint(std::istream& in);
+void save_checkpoint(const std::string& path, const CheckpointState& state);
+CheckpointState load_checkpoint(const std::string& path);
+
+}  // namespace multihit

@@ -1,0 +1,116 @@
+#include "core/engine.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "combinat/unrank.hpp"
+#include "core/schemes.hpp"
+#include "core/serial.hpp"
+#include "util/log.hpp"
+
+namespace multihit {
+
+std::vector<std::vector<std::uint32_t>> GreedyResult::combinations() const {
+  std::vector<std::vector<std::uint32_t>> combos;
+  combos.reserve(iterations.size());
+  for (const auto& it : iterations) combos.push_back(it.genes);
+  return combos;
+}
+
+GreedyResult run_greedy(BitMatrix tumor, const BitMatrix& normal, const EngineConfig& config,
+                        const Evaluator& evaluator, BitMatrix* final_tumor) {
+  if (tumor.genes() != normal.genes()) {
+    throw std::invalid_argument("tumor/normal gene counts differ");
+  }
+  if (config.hits == 0 || config.hits > tumor.genes()) {
+    throw std::invalid_argument("hits out of range");
+  }
+
+  GreedyResult result;
+  std::uint32_t remaining = tumor.samples();
+  std::vector<std::uint64_t> covered(tumor.words_per_row());
+
+  while (remaining > 0) {
+    if (config.max_iterations != 0 && result.iterations.size() >= config.max_iterations) break;
+
+    FContext ctx{config.f_params, remaining, normal.samples()};
+    const EvalResult best = evaluator(tumor, normal, ctx);
+    if (!best.valid || best.tp == 0) {
+      // No combination covers any remaining tumor sample; further iterations
+      // would loop forever picking pure-TN combinations.
+      MH_LOG_DEBUG << "greedy stop: best combination covers no remaining tumor sample ("
+                   << remaining << " uncovered)";
+      break;
+    }
+
+    IterationRecord record;
+    record.genes = unrank_combination(best.combo_rank, config.hits);
+    record.f = best.f;
+    record.tp = best.tp;
+    record.tn = best.tn;
+    record.tumor_remaining_before = remaining;
+
+    covered.assign(tumor.words_per_row(), 0);
+    const std::uint64_t tp_check = tumor.combine_rows(record.genes, covered);
+    assert(tp_check == best.tp);
+    (void)tp_check;
+
+    if (config.bit_splicing) {
+      remaining = tumor.splice_covered(covered);
+      covered.resize(tumor.words_per_row());
+    } else {
+      // Zero out covered columns in place; width (and word work) unchanged.
+      for (std::uint32_t g = 0; g < tumor.genes(); ++g) {
+        auto row = tumor.row(g);
+        for (std::uint32_t w = 0; w < tumor.words_per_row(); ++w) row[w] &= ~covered[w];
+      }
+      remaining -= static_cast<std::uint32_t>(best.tp);
+    }
+
+    record.tumor_remaining_after = remaining;
+    result.iterations.push_back(std::move(record));
+  }
+
+  result.uncovered_tumor = remaining;
+  if (final_tumor) *final_tumor = std::move(tumor);
+  return result;
+}
+
+Evaluator make_serial_evaluator(std::uint32_t hits) {
+  return [hits](const BitMatrix& tumor, const BitMatrix& normal, const FContext& ctx) {
+    return serial_find_best(tumor, normal, ctx, hits);
+  };
+}
+
+namespace {
+constexpr MemOpts kOpts{.prefetch_i = true, .prefetch_j = true};
+}  // namespace
+
+Evaluator make_kernel_evaluator(std::uint32_t hits) {
+  switch (hits) {
+    case 2:
+      return [](const BitMatrix& tumor, const BitMatrix& normal, const FContext& ctx) {
+        return evaluate_range_2hit(tumor, normal, ctx, Scheme2::k1x1, 0,
+                                   scheme2_threads(Scheme2::k1x1, tumor.genes()), kOpts);
+      };
+    case 3:
+      return [](const BitMatrix& tumor, const BitMatrix& normal, const FContext& ctx) {
+        return evaluate_range_3hit(tumor, normal, ctx, Scheme3::k2x1, 0,
+                                   scheme3_threads(Scheme3::k2x1, tumor.genes()), kOpts);
+      };
+    case 4:
+      return [](const BitMatrix& tumor, const BitMatrix& normal, const FContext& ctx) {
+        return evaluate_range_4hit(tumor, normal, ctx, Scheme4::k3x1, 0,
+                                   scheme4_threads(Scheme4::k3x1, tumor.genes()), kOpts);
+      };
+    case 5:
+      return [](const BitMatrix& tumor, const BitMatrix& normal, const FContext& ctx) {
+        return evaluate_range_5hit(tumor, normal, ctx, Scheme5::k4x1, 0,
+                                   scheme5_threads(Scheme5::k4x1, tumor.genes()), kOpts);
+      };
+    default:
+      return make_serial_evaluator(hits);
+  }
+}
+
+}  // namespace multihit

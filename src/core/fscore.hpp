@@ -1,0 +1,34 @@
+#pragma once
+// The weighted-set-cover objective (paper Eq. 1):
+//
+//   F = (α·TP + TN) / (N_t + N_n)
+//
+// TP = tumor samples carrying mutations in *all* genes of the combination,
+// TN = normal samples *not* carrying mutations in all genes, α = 0.1 is the
+// penalty offsetting the algorithm's bias toward true positives.
+
+#include <cstdint>
+
+namespace multihit {
+
+struct FParams {
+  double alpha = 0.1;
+};
+
+/// Denominator context for one greedy iteration: the tumor count is the
+/// number of samples still uncovered; the normal count never changes.
+struct FContext {
+  FParams params;
+  std::uint64_t tumor_total = 0;   ///< N_t (remaining tumor samples)
+  std::uint64_t normal_total = 0;  ///< N_n
+};
+
+/// Eq. 1. `normal_hits` is the intersection cardinality on the normal
+/// matrix, so TN = normal_total - normal_hits.
+inline double f_score(const FContext& ctx, std::uint64_t tp, std::uint64_t normal_hits) noexcept {
+  const double tn = static_cast<double>(ctx.normal_total - normal_hits);
+  return (ctx.params.alpha * static_cast<double>(tp) + tn) /
+         static_cast<double>(ctx.tumor_total + ctx.normal_total);
+}
+
+}  // namespace multihit

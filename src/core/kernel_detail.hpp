@@ -1,0 +1,100 @@
+#pragma once
+// Shared internals of the enumeration kernels (core/schemes*.cpp only).
+
+#include <cstdint>
+#include <vector>
+
+#include "combinat/linearize.hpp"
+#include "core/fscore.hpp"
+#include "core/result.hpp"
+
+namespace multihit::detail {
+
+// Best-so-far tracker. F values are computed by the identical expression on
+// every path, so exact == comparison on doubles is sound here, and the
+// (F desc, rank asc) order makes every execution return the same winner.
+class BestTracker {
+ public:
+  explicit BestTracker(const FContext& ctx) : ctx_(ctx) {}
+
+  template <typename RankFn>
+  void consider(std::uint64_t tp, std::uint64_t normal_hits, RankFn&& rank) noexcept {
+    const double f = f_score(ctx_, tp, normal_hits);
+    if (best_.valid) {
+      if (f < best_.f) return;
+      if (f == best_.f) {
+        const std::uint64_t r = rank();
+        if (r >= best_.combo_rank) return;
+        best_.combo_rank = r;
+        best_.tp = tp;
+        best_.tn = ctx_.normal_total - normal_hits;
+        return;
+      }
+    }
+    best_.valid = true;
+    best_.f = f;
+    best_.combo_rank = rank();
+    best_.tp = tp;
+    best_.tn = ctx_.normal_total - normal_hits;
+  }
+
+  EvalResult result() const noexcept { return best_; }
+
+ private:
+  FContext ctx_;
+  EvalResult best_;
+};
+
+// Scratch buffers for prefetch staging, one pair per nesting depth.
+struct Scratch {
+  Scratch(std::uint32_t tumor_words, std::uint32_t normal_words)
+      : t1(tumor_words), t2(tumor_words), t3(tumor_words),
+        n1(normal_words), n2(normal_words), n3(normal_words) {}
+  std::vector<std::uint64_t> t1, t2, t3;
+  std::vector<std::uint64_t> n1, n2, n3;
+};
+
+// Colex successor of a pair (i < j).
+inline void advance_pair(Pair& p) noexcept {
+  if (p.i + 1 < p.j) {
+    ++p.i;
+  } else {
+    ++p.j;
+    p.i = 0;
+  }
+}
+
+// Colex successor of a triple (i < j < k).
+inline void advance_triple(Triple& t) noexcept {
+  if (t.i + 1 < t.j) {
+    ++t.i;
+  } else if (t.j + 1 < t.k) {
+    ++t.j;
+    t.i = 0;
+  } else {
+    ++t.k;
+    t.j = 1;
+    t.i = 0;
+  }
+}
+
+// Colex successor of a quadruple (i < j < k < l).
+inline void advance_quad(Quad& q) noexcept {
+  if (q.i + 1 < q.j) {
+    ++q.i;
+  } else if (q.j + 1 < q.k) {
+    ++q.j;
+    q.i = 0;
+  } else if (q.k + 1 < q.l) {
+    ++q.k;
+    q.j = 1;
+    q.i = 0;
+  } else {
+    ++q.l;
+    q.k = 2;
+    q.j = 1;
+    q.i = 0;
+  }
+}
+
+}  // namespace multihit::detail

@@ -1,0 +1,21 @@
+#pragma once
+// Serial reference evaluator: the straightforward O(C(G,h)) scan the paper's
+// original CPU implementation performed. Supports any hit count h >= 1 and
+// is the correctness oracle every parallel path is pinned to in tests.
+
+#include <cstdint>
+
+#include "bitmat/bitmatrix.hpp"
+#include "core/fscore.hpp"
+#include "core/result.hpp"
+
+namespace multihit {
+
+/// Scans every h-gene combination and returns the best (F desc, rank asc).
+/// Requires tumor and normal to have the same gene count and
+/// genes >= h >= 1. Returns an invalid result when the combination space is
+/// empty.
+EvalResult serial_find_best(const BitMatrix& tumor, const BitMatrix& normal, const FContext& ctx,
+                            std::uint32_t hits);
+
+}  // namespace multihit

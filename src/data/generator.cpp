@@ -1,0 +1,79 @@
+#include "data/generator.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace multihit {
+
+Dataset generate_dataset(const SyntheticSpec& spec) {
+  if (spec.hits == 0 || spec.num_combinations == 0) {
+    throw std::invalid_argument("SyntheticSpec requires hits >= 1 and num_combinations >= 1");
+  }
+  if (static_cast<std::uint64_t>(spec.hits) * spec.num_combinations > spec.genes) {
+    throw std::invalid_argument("not enough genes for disjoint planted combinations");
+  }
+
+  Rng rng(spec.seed);
+  Dataset data;
+  data.name = "synthetic";
+  data.tumor = BitMatrix(spec.genes, spec.tumor_samples);
+  data.normal = BitMatrix(spec.genes, spec.normal_samples);
+
+  // Choose hits * num_combinations distinct driver genes and slice them into
+  // disjoint combinations.
+  const auto driver_genes = rng.sample_without_replacement(
+      spec.genes, static_cast<std::uint64_t>(spec.hits) * spec.num_combinations);
+  data.planted.resize(spec.num_combinations);
+  for (std::uint32_t c = 0; c < spec.num_combinations; ++c) {
+    auto& combo = data.planted[c];
+    combo.reserve(spec.hits);
+    for (std::uint32_t t = 0; t < spec.hits; ++t) {
+      combo.push_back(static_cast<std::uint32_t>(driver_genes[c * spec.hits + t]));
+    }
+    std::sort(combo.begin(), combo.end());
+  }
+
+  // Each tumor sample carries one planted combination. Assign round-robin so
+  // every combination covers a comparable share of samples, then shuffle the
+  // assignment for realism.
+  std::vector<std::uint32_t> assignment(spec.tumor_samples);
+  for (std::uint32_t s = 0; s < spec.tumor_samples; ++s) {
+    assignment[s] = s % spec.num_combinations;
+  }
+  rng.shuffle(assignment);
+
+  for (std::uint32_t s = 0; s < spec.tumor_samples; ++s) {
+    for (std::uint32_t gene : data.planted[assignment[s]]) {
+      if (rng.bernoulli(spec.driver_detect_rate)) data.tumor.set(gene, s);
+    }
+  }
+
+  // A small fraction of normal samples carry a planted combination
+  // (germline carriers / mislabeled samples).
+  for (std::uint32_t s = 0; s < spec.normal_samples; ++s) {
+    if (!rng.bernoulli(spec.normal_contamination)) continue;
+    const auto combo_idx = static_cast<std::uint32_t>(rng.uniform(spec.num_combinations));
+    for (std::uint32_t gene : data.planted[combo_idx]) {
+      if (rng.bernoulli(spec.driver_detect_rate)) data.normal.set(gene, s);
+    }
+  }
+
+  // Background mutations: everywhere, both classes; tumors optionally carry
+  // an extra load.
+  const double tumor_rate = spec.background_rate + spec.tumor_excess_rate;
+  for (std::uint32_t g = 0; g < spec.genes; ++g) {
+    for (std::uint32_t s = 0; s < spec.tumor_samples; ++s) {
+      if (rng.bernoulli(tumor_rate)) data.tumor.set(g, s);
+    }
+    for (std::uint32_t s = 0; s < spec.normal_samples; ++s) {
+      if (rng.bernoulli(spec.background_rate)) data.normal.set(g, s);
+    }
+  }
+
+  return data;
+}
+
+}  // namespace multihit

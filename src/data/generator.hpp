@@ -1,0 +1,45 @@
+#pragma once
+// Synthetic gene-sample data with planted multi-hit combinations.
+//
+// The paper's input is TCGA somatic mutation data (Mutect2 calls, 31 cancer
+// types). That data is access-controlled, so this generator produces the
+// closest synthetic equivalent: sparse background mutations everywhere, and
+// for each tumor sample one planted "driver" combination of h genes that is
+// fully mutated. The weighted-set-cover engine should then recover the
+// planted combinations — a ground truth the real data cannot provide.
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.hpp"
+
+namespace multihit {
+
+struct SyntheticSpec {
+  std::uint32_t genes = 200;           ///< G
+  std::uint32_t tumor_samples = 120;   ///< N_t
+  std::uint32_t normal_samples = 80;   ///< N_n
+  std::uint32_t hits = 3;              ///< h, genes per planted combination
+  std::uint32_t num_combinations = 4;  ///< planted driver combinations
+  /// Probability that each driver gene of the sample's assigned combination
+  /// is actually observed mutated (models imperfect mutation calling).
+  double driver_detect_rate = 1.0;
+  /// Per gene-sample background ("passenger") mutation probability, applied
+  /// to tumor and normal samples alike.
+  double background_rate = 0.01;
+  /// Extra per-gene mutation probability in tumor samples only (models the
+  /// elevated somatic mutation load of tumors).
+  double tumor_excess_rate = 0.0;
+  /// Fraction of normal samples carrying one planted combination anyway
+  /// (germline carriers / sample mislabeling) — what keeps real-data
+  /// specificity below 1.0 (the paper reports 90%).
+  double normal_contamination = 0.0;
+  std::uint64_t seed = 42;
+};
+
+/// Generates a Dataset per `spec`. Planted combinations use disjoint gene
+/// sets (requires hits * num_combinations <= genes); every tumor sample is
+/// assigned one planted combination round-robin-randomly.
+Dataset generate_dataset(const SyntheticSpec& spec);
+
+}  // namespace multihit

@@ -1,0 +1,27 @@
+#pragma once
+// Plain-text dataset serialization.
+//
+// Format ("multihit-dataset v1"): a header with dimensions, planted
+// combinations, then one sparse line per set bit ("t <gene> <sample>" for
+// tumor, "n <gene> <sample>" for normal). Human-diffable and stable across
+// platforms; mutation matrices are sparse enough that this beats a binary
+// dump for inspectability at negligible cost.
+
+#include <iosfwd>
+#include <string>
+
+#include "data/dataset.hpp"
+
+namespace multihit {
+
+/// Serializes `data` to `out`. Throws std::ios_base::failure on I/O error.
+void write_dataset(std::ostream& out, const Dataset& data);
+
+/// Parses a dataset; throws std::runtime_error on malformed input.
+Dataset read_dataset(std::istream& in);
+
+/// File-path conveniences.
+void save_dataset(const std::string& path, const Dataset& data);
+Dataset load_dataset(const std::string& path);
+
+}  // namespace multihit

@@ -1,0 +1,106 @@
+#include "data/maf.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace multihit {
+
+namespace {
+
+std::uint32_t draw_position(Rng& rng, const GeneInfo& gene, bool tumor) {
+  // Driver hotspots are a tumor-only phenomenon: positive selection in the
+  // tumor concentrates mutations on the activating residue, while germline /
+  // sequencing-noise mutations in normals stay uniform (paper Fig. 10a vs b).
+  if (tumor && gene.driver && rng.bernoulli(gene.hotspot_fraction)) {
+    return gene.hotspot_position;
+  }
+  return static_cast<std::uint32_t>(rng.uniform(gene.protein_length)) + 1;
+}
+
+}  // namespace
+
+MafStudy generate_maf_study(const SyntheticSpec& spec) {
+  // The matrix-level generator defines which (gene, sample) cells are
+  // mutated; this layer re-derives the same cells from the same seed and
+  // attaches positions, so summarize_maf(generate_maf_study(s)) matches
+  // generate_dataset(s) exactly.
+  const Dataset matrix = generate_dataset(spec);
+
+  MafStudy study;
+  study.name = matrix.name + "/maf";
+  study.tumor_samples = spec.tumor_samples;
+  study.normal_samples = spec.normal_samples;
+  study.planted = matrix.planted;
+
+  std::vector<bool> is_driver(spec.genes, false);
+  for (const auto& combo : matrix.planted) {
+    for (std::uint32_t g : combo) is_driver[g] = true;
+  }
+
+  Rng rng(spec.seed ^ 0x6d61665f6d616621ULL);  // independent stream for positions
+  study.genes.resize(spec.genes);
+  std::uint32_t driver_counter = 0;
+  for (std::uint32_t g = 0; g < spec.genes; ++g) {
+    GeneInfo& info = study.genes[g];
+    info.driver = is_driver[g];
+    info.protein_length = 200 + static_cast<std::uint32_t>(rng.uniform(1800));
+    if (info.driver) {
+      info.symbol = "DRV" + std::to_string(++driver_counter);
+      info.hotspot_position = 1 + static_cast<std::uint32_t>(rng.uniform(info.protein_length));
+      info.hotspot_fraction = 0.70 + 0.25 * rng.uniform_double();
+    } else {
+      info.symbol = "PSG" + std::to_string(g);
+    }
+  }
+
+  auto emit = [&](const BitMatrix& m, bool tumor) {
+    for (std::uint32_t g = 0; g < m.genes(); ++g) {
+      for (std::uint32_t s = 0; s < m.samples(); ++s) {
+        if (!m.get(g, s)) continue;
+        // A mutated cell corresponds to >= 1 mutation call; occasionally a
+        // sample carries more than one mutation in the same gene.
+        const std::uint32_t calls = 1 + static_cast<std::uint32_t>(rng.poisson(0.15));
+        for (std::uint32_t c = 0; c < calls; ++c) {
+          study.records.push_back(MafRecord{g, s, draw_position(rng, study.genes[g], tumor),
+                                            tumor});
+        }
+      }
+    }
+  };
+  emit(matrix.tumor, true);
+  emit(matrix.normal, false);
+  return study;
+}
+
+Dataset summarize_maf(const MafStudy& study) {
+  Dataset data;
+  data.name = study.name + "/summarized";
+  const auto genes = static_cast<std::uint32_t>(study.genes.size());
+  data.tumor = BitMatrix(genes, study.tumor_samples);
+  data.normal = BitMatrix(genes, study.normal_samples);
+  data.planted = study.planted;
+  for (const MafRecord& rec : study.records) {
+    if (rec.gene >= genes) throw std::out_of_range("MafRecord gene out of range");
+    if (rec.tumor) {
+      data.tumor.set(rec.gene, rec.sample);
+    } else {
+      data.normal.set(rec.gene, rec.sample);
+    }
+  }
+  return data;
+}
+
+std::vector<std::uint32_t> position_histogram(const MafStudy& study, std::uint32_t gene,
+                                              bool tumor) {
+  if (gene >= study.genes.size()) throw std::out_of_range("gene out of range");
+  std::vector<std::uint32_t> counts(study.genes[gene].protein_length, 0);
+  for (const MafRecord& rec : study.records) {
+    if (rec.gene != gene || rec.tumor != tumor) continue;
+    if (rec.position >= 1 && rec.position <= counts.size()) ++counts[rec.position - 1];
+  }
+  return counts;
+}
+
+}  // namespace multihit

@@ -1,0 +1,135 @@
+#include "data/maf_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace multihit {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& why) {
+  throw std::runtime_error("malformed MAF: " + why);
+}
+
+}  // namespace
+
+void write_maf(std::ostream& out, const MafStudy& study) {
+  out << "#multihit-maf v1\n";
+  // Study names are single whitespace-free tokens in the format; sanitize so
+  // the round trip can never silently desynchronize the header.
+  std::string name = study.name.empty() ? "unnamed" : study.name;
+  for (char& ch : name) {
+    if (ch == ' ' || ch == '\t' || ch == '\n') ch = '_';
+  }
+  out << "#study " << name << ' ' << study.tumor_samples << ' ' << study.normal_samples
+      << '\n';
+  for (std::size_t g = 0; g < study.genes.size(); ++g) {
+    const GeneInfo& info = study.genes[g];
+    out << "#gene " << g << ' ' << info.symbol << ' ' << info.protein_length << ' '
+        << (info.driver ? 1 : 0) << ' ' << info.hotspot_position << ' '
+        << info.hotspot_fraction << '\n';
+  }
+  for (const auto& combo : study.planted) {
+    out << "#planted";
+    for (const std::uint32_t gene : combo) out << ' ' << gene;
+    out << '\n';
+  }
+  out << "Hugo_Symbol\tGene_Id\tSample_Id\tProtein_Position\tSample_Class\n";
+  for (const MafRecord& rec : study.records) {
+    out << study.genes.at(rec.gene).symbol << '\t' << rec.gene << '\t' << rec.sample << '\t'
+        << rec.position << '\t' << (rec.tumor ? "Tumor" : "Normal") << '\n';
+  }
+  if (!out) throw std::ios_base::failure("error writing MAF");
+}
+
+MafStudy read_maf(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line) || line != "#multihit-maf v1") fail("bad magic line");
+
+  MafStudy study;
+  bool saw_study = false;
+  bool saw_header = false;
+
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      std::istringstream tokens(line);
+      std::string tag;
+      tokens >> tag;
+      if (tag == "#study") {
+        if (!(tokens >> study.name >> study.tumor_samples >> study.normal_samples)) {
+          fail("bad #study line");
+        }
+        saw_study = true;
+      } else if (tag == "#gene") {
+        std::size_t id = 0;
+        GeneInfo info;
+        int driver = 0;
+        if (!(tokens >> id >> info.symbol >> info.protein_length >> driver >>
+              info.hotspot_position >> info.hotspot_fraction)) {
+          fail("bad #gene line: " + line);
+        }
+        info.driver = driver != 0;
+        if (id != study.genes.size()) fail("out-of-order gene id");
+        study.genes.push_back(std::move(info));
+      } else if (tag == "#planted") {
+        std::vector<std::uint32_t> combo;
+        std::uint32_t gene = 0;
+        while (tokens >> gene) combo.push_back(gene);
+        if (combo.empty()) fail("empty #planted line");
+        study.planted.push_back(std::move(combo));
+      } else {
+        fail("unknown directive: " + tag);
+      }
+      continue;
+    }
+    if (!saw_header) {
+      // The TSV column header.
+      if (line.rfind("Hugo_Symbol\t", 0) != 0) fail("missing column header");
+      saw_header = true;
+      continue;
+    }
+    std::istringstream tokens(line);
+    std::string symbol, cls;
+    MafRecord rec;
+    std::uint32_t gene = 0, sample = 0, position = 0;
+    if (!(tokens >> symbol >> gene >> sample >> position >> cls)) {
+      fail("bad record line: " + line);
+    }
+    if (gene >= study.genes.size()) fail("record gene out of range");
+    rec.gene = gene;
+    rec.sample = sample;
+    rec.position = position;
+    if (cls == "Tumor") {
+      rec.tumor = true;
+      if (sample >= study.tumor_samples) fail("tumor sample out of range");
+    } else if (cls == "Normal") {
+      rec.tumor = false;
+      if (sample >= study.normal_samples) fail("normal sample out of range");
+    } else {
+      fail("unknown sample class: " + cls);
+    }
+    if (position < 1 || position > study.genes[gene].protein_length) {
+      fail("position out of protein range");
+    }
+    study.records.push_back(rec);
+  }
+  if (!saw_study) fail("missing #study line");
+  if (!saw_header) fail("missing column header");
+  return study;
+}
+
+void save_maf(const std::string& path, const MafStudy& study) {
+  std::ofstream out(path);
+  if (!out) throw std::ios_base::failure("cannot open for write: " + path);
+  write_maf(out, study);
+}
+
+MafStudy load_maf(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::ios_base::failure("cannot open for read: " + path);
+  return read_maf(in);
+}
+
+}  // namespace multihit

@@ -1,0 +1,33 @@
+#pragma once
+// MAF-like text serialization.
+//
+// The paper's pipeline starts from TCGA mutation annotation format (MAF)
+// files (Mutect2 calls) that are summarized for the algorithm (§III-G).
+// This module reads/writes a minimal tab-separated MAF dialect carrying
+// exactly the columns the pipeline consumes:
+//
+//   Hugo_Symbol  Gene_Id  Sample_Id  Protein_Position  Sample_Class
+//
+// preceded by a "#multihit-maf v1" header line and per-gene annotation
+// lines ("#gene <id> <symbol> <protein_length> <driver 0/1> <hotspot_pos>
+// <hotspot_frac>"). Round-trips a MafStudy losslessly (planted combinations
+// are recorded as "#planted g0 g1 ..." lines).
+
+#include <iosfwd>
+#include <string>
+
+#include "data/maf.hpp"
+
+namespace multihit {
+
+/// Writes a study; throws std::ios_base::failure on I/O error.
+void write_maf(std::ostream& out, const MafStudy& study);
+
+/// Parses a study; throws std::runtime_error on malformed input.
+MafStudy read_maf(std::istream& in);
+
+/// File-path conveniences.
+void save_maf(const std::string& path, const MafStudy& study);
+MafStudy load_maf(const std::string& path);
+
+}  // namespace multihit

@@ -1,0 +1,69 @@
+#include "data/mutation_level.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace multihit {
+
+MutationLevelData build_mutation_level(const MafStudy& study,
+                                       std::uint32_t min_tumor_recurrence) {
+  // Count tumor recurrence per site; (gene, position) ordering of std::map
+  // fixes the row order deterministically.
+  std::map<std::pair<std::uint32_t, std::uint32_t>, std::uint32_t> tumor_recurrence;
+  for (const MafRecord& rec : study.records) {
+    if (rec.tumor) ++tumor_recurrence[{rec.gene, rec.position}];
+  }
+
+  MutationLevelData result;
+  std::map<std::pair<std::uint32_t, std::uint32_t>, std::uint32_t> row_of;
+  for (const auto& [site, count] : tumor_recurrence) {
+    if (count < min_tumor_recurrence) continue;
+    row_of[site] = static_cast<std::uint32_t>(result.sites.size());
+    result.sites.push_back(MutationSite{site.first, site.second});
+  }
+
+  const auto rows = static_cast<std::uint32_t>(result.sites.size());
+  result.data.name = study.name + "/mutation-level";
+  result.data.tumor = BitMatrix(rows, study.tumor_samples);
+  result.data.normal = BitMatrix(rows, study.normal_samples);
+  for (const MafRecord& rec : study.records) {
+    const auto it = row_of.find({rec.gene, rec.position});
+    if (it == row_of.end()) continue;  // below threshold (or tumor-absent site)
+    if (rec.tumor) {
+      result.data.tumor.set(it->second, rec.sample);
+    } else {
+      result.data.normal.set(it->second, rec.sample);
+    }
+  }
+
+  // Planted gene combinations translate to their drivers' hotspot sites.
+  for (const auto& gene_combo : study.planted) {
+    std::vector<std::uint32_t> site_combo;
+    bool complete = true;
+    for (const std::uint32_t gene : gene_combo) {
+      const GeneInfo& info = study.genes[gene];
+      const auto it = row_of.find({gene, info.hotspot_position});
+      if (!info.driver || it == row_of.end()) {
+        complete = false;
+        break;
+      }
+      site_combo.push_back(it->second);
+    }
+    if (complete) {
+      std::sort(site_combo.begin(), site_combo.end());
+      result.data.planted.push_back(std::move(site_combo));
+    }
+  }
+  return result;
+}
+
+std::optional<std::uint32_t> find_site(const MutationLevelData& data, MutationSite site) {
+  const auto it = std::lower_bound(
+      data.sites.begin(), data.sites.end(), site, [](const MutationSite& a, const MutationSite& b) {
+        return a.gene != b.gene ? a.gene < b.gene : a.position < b.position;
+      });
+  if (it == data.sites.end() || !(*it == site)) return std::nullopt;
+  return static_cast<std::uint32_t>(std::distance(data.sites.begin(), it));
+}
+
+}  // namespace multihit

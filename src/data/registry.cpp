@@ -1,0 +1,77 @@
+#include "data/registry.hpp"
+
+namespace multihit {
+
+namespace {
+
+CancerType make_type(std::string code, std::string description, std::uint32_t hits,
+                     std::uint32_t paper_genes, std::uint32_t paper_tumor,
+                     std::uint32_t paper_normal, std::uint32_t functional_genes,
+                     std::uint32_t functional_tumor, std::uint32_t functional_normal,
+                     std::uint64_t seed) {
+  CancerType t;
+  t.code = std::move(code);
+  t.description = std::move(description);
+  t.hits = hits;
+  t.paper_genes = paper_genes;
+  t.paper_tumor_samples = paper_tumor;
+  t.paper_normal_samples = paper_normal;
+  t.functional.genes = functional_genes;
+  t.functional.tumor_samples = functional_tumor;
+  t.functional.normal_samples = functional_normal;
+  t.functional.hits = hits;
+  t.functional.num_combinations = 4 + static_cast<std::uint32_t>(seed % 3);
+  t.functional.driver_detect_rate = 0.97;
+  t.functional.background_rate = 0.012;
+  t.functional.tumor_excess_rate = 0.004;
+  t.functional.normal_contamination = 0.03;
+  t.functional.seed = seed;
+  return t;
+}
+
+}  // namespace
+
+const std::vector<CancerType>& cancer_registry() {
+  // Synthetic stand-ins; paper-scale sample counts follow TCGA-typical
+  // cohort sizes. BRCA's dimensions (G = 19411, 911 tumor samples) are the
+  // ones the paper states explicitly.
+  static const std::vector<CancerType> registry = {
+      make_type("BRCA", "breast invasive carcinoma", 2, 19411, 911, 520, 140, 120, 80, 101),
+      make_type("ACC", "adenoid cystic carcinoma", 4, 17960, 60, 55, 90, 48, 40, 102),
+      make_type("ESCA", "esophageal carcinoma", 4, 18364, 184, 150, 110, 64, 52, 103),
+      make_type("LUAD", "lung adenocarcinoma", 4, 19020, 566, 430, 130, 96, 72, 104),
+      make_type("LUSC", "lung squamous cell carcinoma", 4, 18877, 487, 380, 125, 88, 68, 105),
+      make_type("COAD", "colon adenocarcinoma", 4, 18940, 433, 340, 120, 84, 64, 106),
+      make_type("STAD", "stomach adenocarcinoma", 4, 19106, 437, 350, 120, 84, 64, 107),
+      make_type("BLCA", "bladder urothelial carcinoma", 4, 18650, 411, 320, 118, 80, 60, 108),
+      make_type("HNSC", "head and neck squamous cell carcinoma", 4, 18820, 508, 400, 128, 92, 70,
+                109),
+      make_type("LIHC", "liver hepatocellular carcinoma", 4, 18222, 364, 280, 115, 76, 58, 110),
+      make_type("SKCM", "skin cutaneous melanoma", 4, 19242, 467, 360, 122, 86, 66, 111),
+      make_type("GBM", "glioblastoma multiforme", 4, 18495, 390, 300, 116, 78, 60, 112),
+  };
+  return registry;
+}
+
+std::vector<CancerType> four_plus_hit_types() {
+  std::vector<CancerType> result;
+  for (const CancerType& t : cancer_registry()) {
+    if (t.hits >= 4) result.push_back(t);
+  }
+  return result;
+}
+
+std::optional<CancerType> find_cancer_type(std::string_view code) {
+  for (const CancerType& t : cancer_registry()) {
+    if (t.code == code) return t;
+  }
+  return std::nullopt;
+}
+
+Dataset generate_functional_dataset(const CancerType& type) {
+  Dataset data = generate_dataset(type.functional);
+  data.name = type.code;
+  return data;
+}
+
+}  // namespace multihit

@@ -1,0 +1,47 @@
+#pragma once
+// Cancer-type registry.
+//
+// The paper evaluates 11 TCGA cancer types previously estimated to require
+// four or more hits, plus BRCA (the largest dataset, 911 tumor samples and
+// G = 19411 genes) for scaling studies, and names ACC as the smallest. TCGA
+// data is access-controlled, so these entries are synthetic stand-ins with
+// sample counts in the published/TCGA-typical range. `paper_scale` carries
+// the full G used by the analytic performance model; `functional` carries a
+// laptop-enumerable downscale (documented per experiment in EXPERIMENTS.md)
+// used wherever combinations are actually evaluated.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "data/generator.hpp"
+
+namespace multihit {
+
+struct CancerType {
+  std::string code;        ///< TCGA-style study abbreviation
+  std::string description;
+  std::uint32_t hits;      ///< estimated hits required for oncogenesis
+  // Paper-scale dimensions (used only by the analytic model).
+  std::uint32_t paper_genes;
+  std::uint32_t paper_tumor_samples;
+  std::uint32_t paper_normal_samples;
+  // Functional downscale used for actual enumeration runs.
+  SyntheticSpec functional;
+};
+
+/// All registered cancer types: the 11 four-plus-hit types plus BRCA.
+const std::vector<CancerType>& cancer_registry();
+
+/// The 11 types with hits >= 4 (the paper's study set).
+std::vector<CancerType> four_plus_hit_types();
+
+/// Lookup by code (e.g. "BRCA", "ACC"); nullopt when unknown.
+std::optional<CancerType> find_cancer_type(std::string_view code);
+
+/// Generates the functional-scale dataset for a registry entry.
+Dataset generate_functional_dataset(const CancerType& type);
+
+}  // namespace multihit

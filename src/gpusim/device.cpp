@@ -1,0 +1,84 @@
+#include "gpusim/device.hpp"
+
+#include <algorithm>
+
+namespace multihit {
+
+EvalResult parallel_reduce_max(std::vector<EvalResult> candidates) {
+  if (candidates.empty()) return {};
+  // Multi-stage tree: each stage halves the candidate count, exactly the
+  // shape of the parallelReduceMax kernel's shared-memory sweeps.
+  std::size_t active = candidates.size();
+  while (active > 1) {
+    const std::size_t half = (active + 1) / 2;
+    for (std::size_t idx = 0; idx + half < active; ++idx) {
+      candidates[idx] = merge_results(candidates[idx], candidates[idx + half]);
+    }
+    active = half;
+  }
+  return candidates[0];
+}
+
+template <typename EvalBlock>
+DeviceRunResult GpuDevice::run_pipeline(const Partition& partition,
+                                        EvalBlock&& eval_block) const {
+  DeviceRunResult result;
+  const std::uint64_t span = partition.size();
+  if (span == 0) return result;
+
+  result.blocks = (span + spec_.block_size - 1) / spec_.block_size;
+  std::vector<EvalResult> block_candidates;
+  block_candidates.reserve(static_cast<std::size_t>(result.blocks));
+
+  // Kernel 1: maxF with in-block single-stage reduction — one candidate per
+  // 512-thread block.
+  for (std::uint64_t b = 0; b < result.blocks; ++b) {
+    const std::uint64_t begin = partition.begin + b * spec_.block_size;
+    const std::uint64_t end = std::min<std::uint64_t>(begin + spec_.block_size, partition.end);
+    block_candidates.push_back(eval_block(begin, end, &result.stats));
+  }
+  result.candidate_bytes = result.blocks * kCandidateBytes;
+
+  // Kernel 2: multi-stage reduction over the block candidates.
+  result.best = parallel_reduce_max(std::move(block_candidates));
+  result.timing = model_gpu_time(spec_, result.stats, span);
+  return result;
+}
+
+DeviceRunResult GpuDevice::run_4hit(const BitMatrix& tumor, const BitMatrix& normal,
+                                    const FContext& ctx, Scheme4 scheme,
+                                    const Partition& partition, const MemOpts& opts) const {
+  return run_pipeline(partition, [&](std::uint64_t begin, std::uint64_t end,
+                                     KernelStats* stats) {
+    return evaluate_range_4hit(tumor, normal, ctx, scheme, begin, end, opts, stats);
+  });
+}
+
+DeviceRunResult GpuDevice::run_3hit(const BitMatrix& tumor, const BitMatrix& normal,
+                                    const FContext& ctx, Scheme3 scheme,
+                                    const Partition& partition, const MemOpts& opts) const {
+  return run_pipeline(partition, [&](std::uint64_t begin, std::uint64_t end,
+                                     KernelStats* stats) {
+    return evaluate_range_3hit(tumor, normal, ctx, scheme, begin, end, opts, stats);
+  });
+}
+
+DeviceRunResult GpuDevice::run_2hit(const BitMatrix& tumor, const BitMatrix& normal,
+                                    const FContext& ctx, Scheme2 scheme,
+                                    const Partition& partition, const MemOpts& opts) const {
+  return run_pipeline(partition, [&](std::uint64_t begin, std::uint64_t end,
+                                     KernelStats* stats) {
+    return evaluate_range_2hit(tumor, normal, ctx, scheme, begin, end, opts, stats);
+  });
+}
+
+DeviceRunResult GpuDevice::run_5hit(const BitMatrix& tumor, const BitMatrix& normal,
+                                    const FContext& ctx, Scheme5 scheme,
+                                    const Partition& partition, const MemOpts& opts) const {
+  return run_pipeline(partition, [&](std::uint64_t begin, std::uint64_t end,
+                                     KernelStats* stats) {
+    return evaluate_range_5hit(tumor, normal, ctx, scheme, begin, end, opts, stats);
+  });
+}
+
+}  // namespace multihit

@@ -1,0 +1,77 @@
+#pragma once
+// Functional V100 device model.
+//
+// Executes the paper's two-kernel pipeline over a thread-range partition:
+//
+//   kernel 1 (maxF): every thread evaluates its combinations; each
+//     512-thread block performs a single-stage reduction and emits ONE
+//     candidate — this is the §III-E optimization that shrinks the candidate
+//     list by the block size (24.3 TB -> 47.5 GB at paper scale).
+//   kernel 2 (parallelReduceMax): a multi-stage pairwise tree over the
+//     per-block candidates yields the device's single best combination.
+//
+// Execution is functionally exact (the real bit-matrix kernels run on the
+// real data); timing comes from the perfmodel over the counted stats.
+
+#include <cstdint>
+#include <vector>
+
+#include "bitmat/bitmatrix.hpp"
+#include "core/schemes.hpp"
+#include "gpusim/perfmodel.hpp"
+#include "sched/schedule.hpp"
+
+namespace multihit {
+
+/// Outcome of one device launch over a partition.
+struct DeviceRunResult {
+  EvalResult best;          ///< device-level winner
+  KernelStats stats;        ///< counted ops/traffic
+  std::uint64_t blocks = 0; ///< maxF blocks launched
+  std::uint64_t candidate_bytes = 0;  ///< per-block candidate list footprint
+  GpuTiming timing;         ///< modeled execution profile
+};
+
+class GpuDevice {
+ public:
+  explicit GpuDevice(DeviceSpec spec = DeviceSpec::v100()) : spec_(spec) {}
+
+  const DeviceSpec& spec() const noexcept { return spec_; }
+
+  /// Runs the 4-hit maxF + parallelReduceMax pipeline over threads
+  /// [partition.begin, partition.end) of `scheme`.
+  DeviceRunResult run_4hit(const BitMatrix& tumor, const BitMatrix& normal, const FContext& ctx,
+                           Scheme4 scheme, const Partition& partition,
+                           const MemOpts& opts = {}) const;
+
+  /// 3-hit counterpart.
+  DeviceRunResult run_3hit(const BitMatrix& tumor, const BitMatrix& normal, const FContext& ctx,
+                           Scheme3 scheme, const Partition& partition,
+                           const MemOpts& opts = {}) const;
+
+  /// 2-hit counterpart.
+  DeviceRunResult run_2hit(const BitMatrix& tumor, const BitMatrix& normal, const FContext& ctx,
+                           Scheme2 scheme, const Partition& partition,
+                           const MemOpts& opts = {}) const;
+
+  /// 5-hit counterpart (requires C(genes,5) to fit u64).
+  DeviceRunResult run_5hit(const BitMatrix& tumor, const BitMatrix& normal, const FContext& ctx,
+                           Scheme5 scheme, const Partition& partition,
+                           const MemOpts& opts = {}) const;
+
+ private:
+  template <typename EvalBlock>
+  DeviceRunResult run_pipeline(const Partition& partition, EvalBlock&& eval_block) const;
+
+  DeviceSpec spec_;
+};
+
+/// The multi-stage pairwise reduction of kernel 2, exposed for testing:
+/// repeatedly merges element pairs until one remains. Associativity of
+/// merge_results guarantees the same winner as a linear scan.
+EvalResult parallel_reduce_max(std::vector<EvalResult> candidates);
+
+/// Bytes per stored candidate: four gene ids + one F value (paper: 20 B).
+inline constexpr std::uint64_t kCandidateBytes = 20;
+
+}  // namespace multihit

@@ -1,0 +1,66 @@
+#include "gpusim/perfmodel.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace multihit {
+
+GpuTiming model_gpu_time(const DeviceSpec& spec, const KernelStats& stats,
+                         std::uint64_t threads) {
+  GpuTiming t;
+  t.occupancy = std::min(
+      1.0, static_cast<double>(threads) / static_cast<double>(spec.resident_capacity()));
+  t.mem_efficiency =
+      spec.mem_eff_floor +
+      (1.0 - spec.mem_eff_floor) * std::pow(t.occupancy, spec.occupancy_exponent);
+
+  // Only the post-reuse traffic reaches DRAM; the rest is served by the L2 /
+  // warp-level broadcast of rows shared across neighbouring threads.
+  const double global_bytes = static_cast<double>(stats.global_words) * 8.0 / spec.l2_reuse;
+  t.memory_time = global_bytes / (spec.dram_bandwidth * t.mem_efficiency);
+  t.compute_time = static_cast<double>(stats.word_ops) / spec.word_op_rate;
+  t.memory_bound = t.memory_time >= t.compute_time;
+
+  // parallelReduceMax: the maxF kernel already reduced each 512-thread block
+  // to one candidate, so the second kernel touches blocks-many elements in
+  // a log-depth sweep; cost is effectively linear in block count.
+  const std::uint64_t blocks = (threads + spec.block_size - 1) / spec.block_size;
+  t.reduce_time = static_cast<double>(blocks) * spec.reduce_op_cost;
+  t.overhead = 2.0 * spec.kernel_launch_overhead;  // maxF + parallelReduceMax
+
+  t.time = std::max(t.memory_time, t.compute_time) + t.reduce_time + t.overhead;
+  t.dram_throughput = t.time > 0.0 ? global_bytes / t.time : 0.0;
+  return t;
+}
+
+StallBreakdown stall_breakdown(const GpuTiming& timing) {
+  // Heuristic attribution mirroring the NVPROF categories of Fig. 6c:
+  //  - memory dependency grows as latency hiding degrades (low occupancy);
+  //  - memory throttle grows when the launch saturates bandwidth
+  //    (memory-bound at high occupancy => many outstanding transactions);
+  //  - execution dependency covers the issue stalls of the AND/popcount
+  //    chains, relatively larger when compute-bound.
+  StallBreakdown s;
+  const double mem_pressure =
+      timing.memory_time / std::max(timing.memory_time + timing.compute_time, 1e-30);
+  const double latency_exposure = 1.0 - timing.mem_efficiency;
+
+  double memory_dependency = 0.30 + 0.45 * latency_exposure + 0.10 * mem_pressure;
+  double memory_throttle = 0.05 + 0.25 * mem_pressure * timing.occupancy;
+  double execution_dependency = 0.08 + 0.30 * (1.0 - mem_pressure);
+
+  const double known = memory_dependency + memory_throttle + execution_dependency;
+  if (known > 0.95) {
+    const double scale = 0.95 / known;
+    memory_dependency *= scale;
+    memory_throttle *= scale;
+    execution_dependency *= scale;
+  }
+  s.memory_dependency = memory_dependency;
+  s.memory_throttle = memory_throttle;
+  s.execution_dependency = execution_dependency;
+  s.other = 1.0 - (s.memory_dependency + s.memory_throttle + s.execution_dependency);
+  return s;
+}
+
+}  // namespace multihit

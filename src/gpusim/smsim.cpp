@@ -1,0 +1,133 @@
+#include "gpusim/smsim.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace multihit {
+
+namespace {
+
+struct WarpState {
+  std::uint64_t comp_left = 0;
+  std::uint64_t mem_left = 0;
+  std::uint64_t stride = 0;          // compute instructions between loads
+  std::uint64_t comp_since_mem = 0;
+  std::uint64_t ready_at = 0;
+  bool waiting_mem = false;
+
+  bool done() const noexcept { return comp_left == 0 && mem_left == 0 && !waiting_mem; }
+
+  bool next_is_load() const noexcept {
+    if (mem_left == 0) return false;
+    return comp_left == 0 || comp_since_mem >= stride;
+  }
+};
+
+WarpState make_state(const WarpWork& work) {
+  WarpState state;
+  state.comp_left = work.compute_instructions;
+  state.mem_left = work.memory_requests;
+  state.stride = work.memory_requests > 0
+                     ? work.compute_instructions / work.memory_requests
+                     : 0;
+  // Start mid-stride so the first load does not fire on cycle 0 for every
+  // warp at once (matches staggered real launches, keeps determinism).
+  state.comp_since_mem = 0;
+  return state;
+}
+
+}  // namespace
+
+SmResult simulate_sm(const SmConfig& config, std::span<const WarpWork> warps) {
+  SmResult result;
+  if (warps.empty()) return result;
+
+  std::vector<WarpState> resident;
+  resident.reserve(config.max_resident_warps);
+  std::size_t next_pending = 0;
+  auto refill = [&] {
+    while (resident.size() < config.max_resident_warps && next_pending < warps.size()) {
+      resident.push_back(make_state(warps[next_pending++]));
+    }
+  };
+  refill();
+
+  std::uint64_t outstanding = 0;
+  std::uint64_t cycle = 0;
+  std::size_t rr_cursor = 0;  // round-robin fairness
+  std::uint64_t total_requests = 0;
+
+  while (true) {
+    // Retire finished warps and complete memory requests due this cycle.
+    for (auto& w : resident) {
+      if (w.waiting_mem && w.ready_at <= cycle) {
+        w.waiting_mem = false;
+        --outstanding;
+      }
+    }
+    resident.erase(std::remove_if(resident.begin(), resident.end(),
+                                  [](const WarpState& w) { return w.done(); }),
+                   resident.end());
+    refill();
+    if (resident.empty()) break;
+
+    // Try to issue one instruction, round-robin.
+    bool issued = false;
+    bool saw_throttled = false;
+    bool saw_mem_wait = false;
+    bool saw_exec_wait = false;
+    const std::size_t count = resident.size();
+    for (std::size_t probe = 0; probe < count && !issued; ++probe) {
+      WarpState& w = resident[(rr_cursor + probe) % count];
+      if (w.done()) continue;
+      if (w.waiting_mem) {
+        saw_mem_wait = true;
+        continue;
+      }
+      if (w.ready_at > cycle) {
+        saw_exec_wait = true;
+        continue;
+      }
+      if (w.next_is_load()) {
+        if (outstanding >= config.max_outstanding_requests) {
+          saw_throttled = true;
+          continue;
+        }
+        --w.mem_left;
+        w.comp_since_mem = 0;
+        w.waiting_mem = true;
+        w.ready_at = cycle + config.memory_latency;
+        ++outstanding;
+        ++total_requests;
+      } else {
+        --w.comp_left;
+        ++w.comp_since_mem;
+        w.ready_at = cycle + config.compute_latency;
+      }
+      ++result.issued_instructions;
+      rr_cursor = (rr_cursor + probe + 1) % count;
+      issued = true;
+    }
+
+    if (!issued) {
+      if (saw_throttled) {
+        ++result.stall_memory_throttle;
+      } else if (saw_mem_wait) {
+        ++result.stall_memory_dependency;
+      } else if (saw_exec_wait) {
+        ++result.stall_execution_dependency;
+      }
+    }
+    ++cycle;
+  }
+
+  result.cycles = cycle;
+  result.request_rate =
+      cycle > 0 ? static_cast<double>(total_requests) / static_cast<double>(cycle) : 0.0;
+  result.issue_efficiency =
+      cycle > 0 ? static_cast<double>(result.issued_instructions) / static_cast<double>(cycle)
+                : 0.0;
+  return result;
+}
+
+}  // namespace multihit

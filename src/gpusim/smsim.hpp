@@ -1,0 +1,65 @@
+#pragma once
+// Cycle-level single-SM warp scheduler simulation.
+//
+// The analytic performance model (perfmodel.hpp) *assumes* a latency-hiding
+// law: achieved memory efficiency rises with resident-warp count and is
+// capped by outstanding-request capacity. This module derives that behaviour
+// from first principles with a deterministic round-robin warp scheduler:
+//
+//  - each warp executes its instruction stream in order; a memory request
+//    stalls the warp for `memory_latency` cycles (one outstanding load per
+//    warp, as in an in-order SIMT core);
+//  - at most `max_outstanding_requests` loads may be in flight per SM; a
+//    warp whose next instruction is a load while the queue is full is
+//    throttled (the NVPROF "memory throttle" stall);
+//  - one instruction issues per cycle when any warp is ready; cycles with no
+//    ready warp are attributed to the blocking reason, reproducing the
+//    paper's Fig. 6(c) stall taxonomy.
+//
+// The integration test pins the analytic mem_eff(occupancy) curve against
+// this simulator's achieved request rates.
+
+#include <cstdint>
+#include <span>
+
+namespace multihit {
+
+struct SmConfig {
+  std::uint32_t warp_size = 32;
+  std::uint32_t max_resident_warps = 64;       ///< V100: 2048 threads / 32
+  std::uint32_t memory_latency = 400;          ///< cycles to DRAM and back
+  std::uint32_t max_outstanding_requests = 64; ///< MSHR-style cap
+  std::uint32_t compute_latency = 1;           ///< back-to-back ALU issue
+};
+
+/// One warp's aggregate instruction mix. Memory requests are spread evenly
+/// through the compute stream (the enumeration kernels alternate row loads
+/// with AND+popcount chains, so this matches their shape).
+struct WarpWork {
+  std::uint64_t compute_instructions = 0;
+  std::uint64_t memory_requests = 0;
+};
+
+struct SmResult {
+  std::uint64_t cycles = 0;
+  std::uint64_t issued_instructions = 0;
+  /// Cycles with no ready warp because every live warp awaits a load.
+  std::uint64_t stall_memory_dependency = 0;
+  /// Cycles where the only issueable instructions were loads blocked by the
+  /// outstanding-request cap.
+  std::uint64_t stall_memory_throttle = 0;
+  /// Cycles lost to ALU result latency (compute_latency > 1 chains).
+  std::uint64_t stall_execution_dependency = 0;
+
+  /// Achieved memory requests per cycle (the SM's DRAM pressure).
+  double request_rate = 0.0;
+  /// issued / cycles: the Fig. 6 "compute utilization" analogue.
+  double issue_efficiency = 0.0;
+};
+
+/// Simulates the warps to completion. At most max_resident_warps execute
+/// concurrently; additional warps start as earlier ones retire (block
+/// scheduling). Deterministic.
+SmResult simulate_sm(const SmConfig& config, std::span<const WarpWork> warps);
+
+}  // namespace multihit

@@ -1,0 +1,75 @@
+#include "mpisim/comm.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace multihit {
+
+SimComm::SimComm(std::uint32_t size, CommCostModel cost)
+    : cost_(cost), clock_(size, 0.0), compute_time_(size, 0.0), comm_time_(size, 0.0) {
+  if (size == 0) throw std::invalid_argument("SimComm requires at least one rank");
+}
+
+void SimComm::compute(std::uint32_t rank, double seconds) {
+  clock_.at(rank) += seconds;
+  compute_time_[rank] += seconds;
+}
+
+double SimComm::finish_time() const noexcept {
+  return *std::max_element(clock_.begin(), clock_.end());
+}
+
+void SimComm::set_clock_comm(std::uint32_t rank, double new_time) {
+  if (new_time > clock_[rank]) {
+    comm_time_[rank] += new_time - clock_[rank];
+    clock_[rank] = new_time;
+  }
+}
+
+void SimComm::send(std::uint32_t src, std::uint32_t dst, std::uint64_t bytes) {
+  clock_.at(src);
+  clock_.at(dst);
+  const double transfer = cost_.cost(bytes);
+  // The sender is busy for the injection latency; the receiver completes
+  // once both sides are ready and the payload has moved.
+  const double arrival = std::max(clock_[src], clock_[dst]) + transfer;
+  set_clock_comm(src, clock_[src] + cost_.latency);
+  set_clock_comm(dst, arrival);
+}
+
+void SimComm::barrier() {
+  // Dissemination barrier: after ceil(log2 P) rounds every rank has heard
+  // from every other; all clocks align to the slowest + rounds * latency.
+  const std::uint32_t p = size();
+  if (p == 1) return;
+  std::uint32_t rounds = 0;
+  for (std::uint32_t span = 1; span < p; span <<= 1) ++rounds;
+  const double done = finish_time() + rounds * cost_.latency;
+  for (std::uint32_t r = 0; r < p; ++r) set_clock_comm(r, done);
+}
+
+void SimComm::reduce_clocks(std::uint32_t root, std::uint64_t bytes) {
+  // Binomial tree toward root (relative rank 0): in the round with `stride`,
+  // relative rank rel+stride sends its partial to rel.
+  const std::uint32_t p = size();
+  for (std::uint32_t stride = 1; stride < p; stride <<= 1) {
+    for (std::uint32_t rel = 0; rel + stride < p; rel += stride << 1) {
+      send((root + rel + stride) % p, (root + rel) % p, bytes);
+    }
+  }
+}
+
+void SimComm::broadcast(std::uint32_t root, std::uint64_t bytes) {
+  // Binomial tree away from root, mirroring reduce_clocks.
+  const std::uint32_t p = size();
+  std::uint32_t top = 1;
+  while (top < p) top <<= 1;
+  for (std::uint32_t stride = top >> 1; stride >= 1; stride >>= 1) {
+    for (std::uint32_t rel = 0; rel + stride < p; rel += stride << 1) {
+      send((root + rel) % p, (root + rel + stride) % p, bytes);
+    }
+    if (stride == 1) break;
+  }
+}
+
+}  // namespace multihit

@@ -1,0 +1,108 @@
+#pragma once
+// In-process message-passing runtime with a simulated clock.
+//
+// The paper runs one MPI process per Summit node. This machine has no MPI
+// and one core, so the communicator executes collectives functionally
+// (values really move and reduce) while advancing per-rank simulated clocks
+// under an alpha-beta cost model:
+//
+//   point-to-point cost(m bytes) = latency + m / bandwidth
+//
+// Collectives use binomial trees (the shape MPI implementations use for
+// small messages — and the paper's messages are 20-byte candidates), so a
+// reduce/broadcast over P ranks costs ceil(log2 P) rounds. Clocks make skew
+// first-class: a reduce absorbs stragglers exactly the way Fig. 8 shows
+// communication hiding under compute variance.
+//
+// Determinism: collectives apply the reduction operator in a fixed tree
+// order, and the operators used in this project (merge_results, max, sum of
+// integers) are associative, so results are identical at any rank count.
+
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+namespace multihit {
+
+/// Alpha-beta transfer cost. Defaults are Summit-like: ~1.5 us MPI latency,
+/// dual-rail EDR InfiniBand ~23 GB/s per node.
+struct CommCostModel {
+  double latency = 1.5e-6;      ///< s per message
+  double bandwidth = 23e9;      ///< B/s
+
+  double cost(std::uint64_t bytes) const noexcept {
+    return latency + static_cast<double>(bytes) / bandwidth;
+  }
+};
+
+/// A simulated communicator over `size` ranks.
+class SimComm {
+ public:
+  explicit SimComm(std::uint32_t size, CommCostModel cost = {});
+
+  std::uint32_t size() const noexcept { return static_cast<std::uint32_t>(clock_.size()); }
+
+  /// Advances one rank's clock by local-compute seconds.
+  void compute(std::uint32_t rank, double seconds);
+
+  double clock(std::uint32_t rank) const { return clock_.at(rank); }
+  double compute_time(std::uint32_t rank) const { return compute_time_.at(rank); }
+  double comm_time(std::uint32_t rank) const { return comm_time_.at(rank); }
+
+  /// Latest clock across ranks — the job's wall time so far.
+  double finish_time() const noexcept;
+
+  /// Timed point-to-point transfer of `bytes` from src to dst. The receive
+  /// completes at max(src send, dst ready) + cost(bytes).
+  void send(std::uint32_t src, std::uint32_t dst, std::uint64_t bytes);
+
+  /// All ranks wait for the slowest (dissemination barrier, log2 P rounds).
+  void barrier();
+
+  /// Binomial-tree reduce of `values[r]` (one per rank) to `root`.
+  /// `bytes` is the serialized element size for the cost model. Returns the
+  /// reduced value (available at root's clock).
+  template <typename T, typename Op>
+  T reduce(std::span<const T> values, std::uint32_t root, std::uint64_t bytes, Op op) {
+    assert(values.size() == clock_.size());
+    std::vector<T> partial(values.begin(), values.end());
+    reduce_clocks(root, bytes);
+    // Apply the operator in the same binomial-tree order the clock walk
+    // used, so floating-point results are bitwise stable.
+    const std::uint32_t p = size();
+    for (std::uint32_t stride = 1; stride < p; stride <<= 1) {
+      for (std::uint32_t rel = 0; rel + stride < p; rel += stride << 1) {
+        const std::uint32_t dst = (root + rel) % p;
+        const std::uint32_t src = (root + rel + stride) % p;
+        partial[dst] = op(partial[dst], partial[src]);
+      }
+    }
+    return partial[root];
+  }
+
+  /// Binomial-tree broadcast of `bytes` from root; returns when all ranks
+  /// have the value (clocks advanced accordingly).
+  void broadcast(std::uint32_t root, std::uint64_t bytes);
+
+  /// reduce followed by broadcast (how small-message allreduce behaves).
+  template <typename T, typename Op>
+  T allreduce(std::span<const T> values, std::uint64_t bytes, Op op) {
+    T result = reduce(values, 0, bytes, op);
+    broadcast(0, bytes);
+    return result;
+  }
+
+ private:
+  void reduce_clocks(std::uint32_t root, std::uint64_t bytes);
+  /// Records a clock move caused by communication (wait + transfer).
+  void set_clock_comm(std::uint32_t rank, double new_time);
+
+  CommCostModel cost_;
+  std::vector<double> clock_;
+  std::vector<double> compute_time_;
+  std::vector<double> comm_time_;
+};
+
+}  // namespace multihit

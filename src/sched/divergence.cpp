@@ -1,0 +1,118 @@
+#include "sched/divergence.hpp"
+
+#include <algorithm>
+
+namespace multihit {
+
+DivergenceStats warp_divergence(const WorkloadModel& model, const Partition& range,
+                                std::uint32_t warp_size) {
+  DivergenceStats stats;
+  if (range.size() == 0) return stats;
+  stats.useful_work = model.prefix_work(range.end) - model.prefix_work(range.begin);
+
+  // Walk warp by warp, but jump closed-form through warps fully inside one
+  // level (max == the level's uniform work).
+  u64 warp_begin = range.begin;
+  const auto levels = model.levels();
+  while (warp_begin < range.end) {
+    const u64 warp_end = std::min<u64>(warp_begin + warp_size, range.end);
+    // Find the level containing warp_begin.
+    const auto it = std::upper_bound(
+        levels.begin(), levels.end(), warp_begin,
+        [](u64 value, const WorkLevel& level) { return value < level.first_lambda; });
+    const auto idx = static_cast<std::size_t>(std::distance(levels.begin(), it)) - 1;
+    const WorkLevel& level = levels[idx];
+    const u64 level_end = level.first_lambda + level.thread_count;
+
+    if (warp_end <= level_end) {
+      // Contained warp: no divergence. Count all contained warps of this
+      // level at once.
+      const u64 contained_span = std::min<u64>(level_end, range.end) - warp_begin;
+      const u64 full_warps = contained_span / warp_size;
+      if (full_warps > 0) {
+        stats.issued_work += static_cast<u128>(full_warps) * warp_size * level.work_per_thread;
+        warp_begin += full_warps * warp_size;
+        continue;
+      }
+      // A final partial warp (range end or level end inside the warp).
+      const u64 span = warp_end - warp_begin;
+      stats.issued_work += static_cast<u128>(span) * level.work_per_thread;
+      warp_begin = warp_end;
+      continue;
+    }
+
+    // Straddling warp: max work over the covered levels. Work decreases
+    // with λ in every scheme here, so the first thread's level holds the max;
+    // still scan defensively in case of non-monotone models.
+    u64 max_work = 0;
+    u64 cursor = warp_begin;
+    std::size_t level_idx = idx;
+    while (cursor < warp_end && level_idx < levels.size()) {
+      const WorkLevel& l = levels[level_idx];
+      max_work = std::max(max_work, l.work_per_thread);
+      cursor = l.first_lambda + l.thread_count;
+      ++level_idx;
+    }
+    stats.issued_work += static_cast<u128>(warp_end - warp_begin) * max_work;
+    warp_begin = warp_end;
+  }
+
+  stats.efficiency = stats.issued_work == 0
+                         ? 1.0
+                         : static_cast<double>(stats.useful_work) /
+                               static_cast<double>(stats.issued_work);
+
+  // Thread-slot accounting: threads with zero work across the range.
+  stats.launched_threads = range.size();
+  for (const WorkLevel& level : levels) {
+    if (level.work_per_thread == 0) continue;
+    const u64 lo = std::max(level.first_lambda, range.begin);
+    const u64 hi = std::min(level.first_lambda + level.thread_count, range.end);
+    if (hi > lo) stats.working_threads += hi - lo;
+  }
+  stats.thread_utilization =
+      stats.launched_threads == 0
+          ? 1.0
+          : static_cast<double>(stats.working_threads) /
+                static_cast<double>(stats.launched_threads);
+  return stats;
+}
+
+DivergenceStats naive_triangular_divergence(std::uint32_t genes, std::uint32_t warp_size) {
+  // Row-major G x G grid; thread id t = i * G + j works iff i < j, doing
+  // G-1-j combinations. Within row i, work decreases from G-1-(i+1) down to
+  // 0, and threads j <= i are idle.
+  DivergenceStats stats;
+  const u64 G = genes;
+  for (u64 i = 0; i < G; ++i) {
+    for (u64 j_warp = 0; j_warp < G; j_warp += warp_size) {
+      const u64 j_end = std::min<u64>(j_warp + warp_size, G);
+      u64 max_work = 0;
+      for (u64 j = j_warp; j < j_end; ++j) {
+        const u64 work = j > i ? G - 1 - j : 0;
+        stats.useful_work += work;
+        max_work = std::max(max_work, work);
+      }
+      stats.issued_work += static_cast<u128>(j_end - j_warp) * max_work;
+    }
+  }
+  stats.launched_threads = G * G;
+  // Working threads: pairs i < j with at least one inner iteration.
+  for (u64 i = 0; i < G; ++i) {
+    for (u64 j = i + 1; j < G; ++j) {
+      if (G - 1 - j > 0) ++stats.working_threads;
+    }
+  }
+  stats.thread_utilization =
+      stats.launched_threads == 0
+          ? 1.0
+          : static_cast<double>(stats.working_threads) /
+                static_cast<double>(stats.launched_threads);
+  stats.efficiency = stats.issued_work == 0
+                         ? 1.0
+                         : static_cast<double>(stats.useful_work) /
+                               static_cast<double>(stats.issued_work);
+  return stats;
+}
+
+}  // namespace multihit

@@ -1,0 +1,49 @@
+#pragma once
+// Warp-divergence accounting (paper §I contribution 2 / §II-C).
+//
+// GPUs issue threads in lockstep groups (warps): a warp retires only when
+// its longest thread finishes, so issued work = warp_size · max(work in
+// warp). Two sources of waste are quantified here:
+//
+//  1. Idle threads in the *naive* 2-D mapping: launching a G x G grid for an
+//     upper-triangular problem leaves the j <= i half idle — the ~2x waste
+//     the paper's linear-index mapping (Algorithm 1) eliminates.
+//  2. Residual divergence in the *linearized* mapping: consecutive λ have
+//     equal work within a level, so only warps straddling a level boundary
+//     diverge — O(levels) warps out of O(threads/warp_size).
+
+#include <cstdint>
+
+#include "combinat/binomial.hpp"
+#include "sched/schedule.hpp"
+#include "sched/workload.hpp"
+
+namespace multihit {
+
+struct DivergenceStats {
+  u128 useful_work = 0;   ///< Σ per-thread work
+  u128 issued_work = 0;   ///< Σ over warps of warp_size · max(work in warp)
+  double efficiency = 1.0;  ///< useful / issued (1.0 when issued == 0)
+
+  /// Thread-slot accounting — the paper's "half of the threads are idle"
+  /// claim is about launched threads with zero work, separate from the
+  /// work-time divergence above (an all-idle warp retires instantly but
+  /// still wastes launch/occupancy slots).
+  u64 launched_threads = 0;
+  u64 working_threads = 0;
+  double thread_utilization = 1.0;  ///< working / launched
+};
+
+/// Divergence of a λ range of a linearized thread space, warp granularity
+/// `warp_size`. Warps are aligned to the partition start. O(levels + warps
+/// straddling level boundaries) — closed form within levels.
+DivergenceStats warp_divergence(const WorkloadModel& model, const Partition& range,
+                                std::uint32_t warp_size = 32);
+
+/// Divergence of the naive (un-linearized) row-major G x G launch for the
+/// triangular 3-hit problem of the paper's Algorithm 1: thread (i, j) does
+/// G-1-j work when i < j and is idle otherwise. This is the baseline the
+/// paper's contribution 2 improves on.
+DivergenceStats naive_triangular_divergence(std::uint32_t genes, std::uint32_t warp_size = 32);
+
+}  // namespace multihit

@@ -1,0 +1,92 @@
+#include "sched/schedule.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "util/stats.hpp"
+
+namespace multihit {
+
+std::vector<Partition> equidistance_schedule(const WorkloadModel& model, std::uint32_t units) {
+  if (units == 0) throw std::invalid_argument("units must be >= 1");
+  const u64 total = model.total_threads();
+  std::vector<Partition> schedule(units);
+  u64 cursor = 0;
+  for (std::uint32_t p = 0; p < units; ++p) {
+    // Spread the remainder over the leading units so sizes differ by <= 1.
+    const u64 size = total / units + (p < total % units ? 1 : 0);
+    schedule[p] = {cursor, cursor + size};
+    cursor += size;
+  }
+  assert(cursor == total);
+  return schedule;
+}
+
+std::vector<Partition> equiarea_schedule(const WorkloadModel& model, std::uint32_t units) {
+  if (units == 0) throw std::invalid_argument("units must be >= 1");
+  const u128 total = model.total_work();
+  std::vector<Partition> schedule(units);
+  u64 cursor = 0;
+  for (std::uint32_t p = 0; p < units; ++p) {
+    // Cumulative target for units 0..p; exact integer arithmetic so the
+    // boundaries are deterministic at any scale.
+    const u128 target = total * (static_cast<u128>(p) + 1) / units;
+    u64 boundary = model.lambda_for_prefix(target);
+    // The final unit also absorbs any zero-work tail threads.
+    if (p + 1 == units) boundary = model.total_threads();
+    boundary = std::max(boundary, cursor);
+    schedule[p] = {cursor, boundary};
+    cursor = boundary;
+  }
+  return schedule;
+}
+
+std::vector<Partition> equiarea_schedule_naive(const WorkloadModel& model, std::uint32_t units) {
+  if (units == 0) throw std::invalid_argument("units must be >= 1");
+  const u128 total = model.total_work();
+  std::vector<Partition> schedule(units);
+  u64 cursor = 0;
+  u128 accumulated = 0;
+  for (std::uint32_t p = 0; p < units; ++p) {
+    const u128 target = total * (static_cast<u128>(p) + 1) / units;
+    u64 boundary = cursor;
+    // Walk threads one by one until the cumulative work reaches the target —
+    // the "tens of hours at full G" approach the paper replaced.
+    while (boundary < model.total_threads() && accumulated < target) {
+      accumulated += model.work_at(boundary);
+      ++boundary;
+    }
+    if (p + 1 == units) boundary = model.total_threads();
+    schedule[p] = {cursor, boundary};
+    cursor = boundary;
+  }
+  return schedule;
+}
+
+u128 partition_work(const WorkloadModel& model, const Partition& partition) {
+  return model.prefix_work(partition.end) - model.prefix_work(partition.begin);
+}
+
+std::vector<double> schedule_work(const WorkloadModel& model,
+                                  const std::vector<Partition>& schedule) {
+  std::vector<double> work;
+  work.reserve(schedule.size());
+  for (const Partition& p : schedule) {
+    work.push_back(static_cast<double>(partition_work(model, p)));
+  }
+  return work;
+}
+
+ImbalanceStats schedule_imbalance(const WorkloadModel& model,
+                                  const std::vector<Partition>& schedule) {
+  const auto work = schedule_work(model, schedule);
+  ImbalanceStats result;
+  result.max_work = stats::max(work);
+  result.mean_work = stats::mean(work);
+  result.min_work = stats::min(work);
+  result.imbalance = result.mean_work > 0.0 ? result.max_work / result.mean_work : 1.0;
+  return result;
+}
+
+}  // namespace multihit

@@ -1,0 +1,59 @@
+#pragma once
+// Thread-range scheduling across GPUs (paper §III-A / §III-C).
+//
+// Equi-distance (ED): each of the P units gets an equal *count* of threads.
+// Because per-thread work decays from O(G²) (2x2) or O(G) (3x1) down to
+// zero, ED loads the first units far more heavily.
+//
+// Equi-area (EA): each unit gets a contiguous λ range carrying an
+// approximately equal *amount of work* (equal area under the workload
+// curve). The paper's O(G) formulation walks the discrete workload levels;
+// the naive per-thread accumulation (hours at G = 20000) exists here only to
+// pin the fast one in tests.
+
+#include <cstdint>
+#include <vector>
+
+#include "sched/workload.hpp"
+
+namespace multihit {
+
+/// A contiguous half-open thread range [begin, end) assigned to one unit.
+struct Partition {
+  u64 begin = 0;
+  u64 end = 0;
+  u64 size() const noexcept { return end - begin; }
+  friend bool operator==(const Partition&, const Partition&) = default;
+};
+
+/// Equal thread counts per unit (the naive baseline).
+std::vector<Partition> equidistance_schedule(const WorkloadModel& model, std::uint32_t units);
+
+/// Equal work per unit via the level structure. O(levels + units·log levels).
+std::vector<Partition> equiarea_schedule(const WorkloadModel& model, std::uint32_t units);
+
+/// Reference EA by per-thread accumulation. O(total_threads); only viable
+/// for small G. Produces identical boundaries to equiarea_schedule.
+std::vector<Partition> equiarea_schedule_naive(const WorkloadModel& model, std::uint32_t units);
+
+/// Exact work carried by a partition.
+u128 partition_work(const WorkloadModel& model, const Partition& partition);
+
+/// Per-unit work for a whole schedule, as doubles for reporting.
+std::vector<double> schedule_work(const WorkloadModel& model,
+                                  const std::vector<Partition>& schedule);
+
+/// Load-imbalance summary of a schedule.
+struct ImbalanceStats {
+  double max_work = 0.0;
+  double mean_work = 0.0;
+  double min_work = 0.0;
+  /// max/mean; 1.0 is perfect balance. The strong-scaling ceiling is
+  /// mean/max = 1/imbalance.
+  double imbalance = 1.0;
+};
+
+ImbalanceStats schedule_imbalance(const WorkloadModel& model,
+                                  const std::vector<Partition>& schedule);
+
+}  // namespace multihit

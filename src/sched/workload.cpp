@@ -1,0 +1,174 @@
+#include "sched/workload.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace multihit {
+
+void WorkloadModel::finalize() {
+  cumulative_work_.resize(levels_.size() + 1);
+  cumulative_work_[0] = 0;
+  total_threads_ = 0;
+  for (std::size_t idx = 0; idx < levels_.size(); ++idx) {
+    const WorkLevel& level = levels_[idx];
+    assert(level.first_lambda == total_threads_);
+    cumulative_work_[idx + 1] =
+        cumulative_work_[idx] +
+        static_cast<u128>(level.thread_count) * static_cast<u128>(level.work_per_thread);
+    total_threads_ += level.thread_count;
+  }
+  total_work_ = cumulative_work_.back();
+}
+
+WorkloadModel WorkloadModel::for_scheme4(Scheme4 scheme, std::uint32_t genes) {
+  WorkloadModel model;
+  model.genes_ = genes;
+  switch (scheme) {
+    case Scheme4::k1x3:
+      // One level per thread: work C(G-1-i, 3) is distinct for each i.
+      for (std::uint32_t i = 0; i < genes; ++i) {
+        model.levels_.push_back({i, 1, tetrahedral(genes - 1 - i)});
+      }
+      break;
+    case Scheme4::k2x2:
+      // All j threads whose larger gene is j share work C(G-1-j, 2).
+      for (std::uint32_t j = 1; j < genes; ++j) {
+        model.levels_.push_back({triangular(j), j, triangular(genes - 1 - j)});
+      }
+      break;
+    case Scheme4::k3x1:
+      // All C(k,2) threads whose largest gene is k share work G-1-k.
+      for (std::uint32_t k = 2; k < genes; ++k) {
+        model.levels_.push_back({tetrahedral(k), triangular(k), genes - 1 - k});
+      }
+      break;
+    case Scheme4::k4x1:
+      model.levels_.push_back({0, quartic(genes), 1});
+      break;
+  }
+  model.finalize();
+  return model;
+}
+
+WorkloadModel WorkloadModel::for_scheme3(Scheme3 scheme, std::uint32_t genes) {
+  WorkloadModel model;
+  model.genes_ = genes;
+  switch (scheme) {
+    case Scheme3::k1x2:
+      for (std::uint32_t i = 0; i < genes; ++i) {
+        model.levels_.push_back({i, 1, triangular(genes - 1 - i)});
+      }
+      break;
+    case Scheme3::k2x1:
+      for (std::uint32_t j = 1; j < genes; ++j) {
+        model.levels_.push_back({triangular(j), j, genes - 1 - j});
+      }
+      break;
+    case Scheme3::k3x1:
+      model.levels_.push_back({0, tetrahedral(genes), 1});
+      break;
+  }
+  model.finalize();
+  return model;
+}
+
+WorkloadModel WorkloadModel::for_scheme2(Scheme2 scheme, std::uint32_t genes) {
+  WorkloadModel model;
+  model.genes_ = genes;
+  switch (scheme) {
+    case Scheme2::k1x1:
+      for (std::uint32_t i = 0; i < genes; ++i) {
+        model.levels_.push_back({i, 1, genes - 1 - i});
+      }
+      break;
+    case Scheme2::k2x1:
+      model.levels_.push_back({0, triangular(genes), 1});
+      break;
+  }
+  model.finalize();
+  return model;
+}
+
+WorkloadModel WorkloadModel::for_scheme5(Scheme5 scheme, std::uint32_t genes) {
+  WorkloadModel model;
+  model.genes_ = genes;
+  switch (scheme) {
+    case Scheme5::k3x2:
+      // All C(k,2) threads whose largest gene is k share work C(G-1-k, 2).
+      for (std::uint32_t k = 2; k < genes; ++k) {
+        model.levels_.push_back({tetrahedral(k), triangular(k), triangular(genes - 1 - k)});
+      }
+      break;
+    case Scheme5::k4x1:
+      // All C(l,3) threads whose largest gene is l share work G-1-l.
+      for (std::uint32_t l = 3; l < genes; ++l) {
+        model.levels_.push_back({quartic(l), tetrahedral(l), genes - 1 - l});
+      }
+      break;
+  }
+  model.finalize();
+  return model;
+}
+
+WorkloadModel WorkloadModel::reweighted(u64 per_combination, u64 per_thread) const {
+  WorkloadModel model;
+  model.genes_ = genes_;
+  model.levels_ = levels_;
+  for (WorkLevel& level : model.levels_) {
+    // Zero-work threads skip their setup entirely in the kernels, so they
+    // carry no memory cost either.
+    if (level.work_per_thread > 0) {
+      level.work_per_thread = per_combination * level.work_per_thread + per_thread;
+    }
+  }
+  model.finalize();
+  return model;
+}
+
+u64 WorkloadModel::work_at(u64 lambda) const noexcept {
+  assert(lambda < total_threads_);
+  // Last level whose first_lambda <= lambda.
+  const auto it = std::upper_bound(
+      levels_.begin(), levels_.end(), lambda,
+      [](u64 value, const WorkLevel& level) { return value < level.first_lambda; });
+  assert(it != levels_.begin());
+  return std::prev(it)->work_per_thread;
+}
+
+u128 WorkloadModel::prefix_work(u64 lambda) const noexcept {
+  if (lambda >= total_threads_) return total_work_;
+  const auto it = std::upper_bound(
+      levels_.begin(), levels_.end(), lambda,
+      [](u64 value, const WorkLevel& level) { return value < level.first_lambda; });
+  const auto idx = static_cast<std::size_t>(std::distance(levels_.begin(), it)) - 1;
+  const WorkLevel& level = levels_[idx];
+  return cumulative_work_[idx] + static_cast<u128>(lambda - level.first_lambda) *
+                                     static_cast<u128>(level.work_per_thread);
+}
+
+u64 WorkloadModel::lambda_for_prefix(u128 target) const noexcept {
+  if (target == 0) return 0;
+  if (target >= total_work_) {
+    // All positive-work threads are needed; zero-work tail threads are not.
+    // Find the end of the last level with positive work.
+    for (std::size_t idx = levels_.size(); idx > 0; --idx) {
+      if (levels_[idx - 1].work_per_thread > 0) {
+        return levels_[idx - 1].first_lambda + levels_[idx - 1].thread_count;
+      }
+    }
+    return 0;
+  }
+  // First level whose *end* cumulative work reaches the target.
+  const auto it =
+      std::lower_bound(cumulative_work_.begin() + 1, cumulative_work_.end(), target);
+  const auto idx = static_cast<std::size_t>(std::distance(cumulative_work_.begin() + 1, it));
+  const WorkLevel& level = levels_[idx];
+  const u128 before = cumulative_work_[idx];
+  assert(level.work_per_thread > 0);
+  const u128 needed = target - before;
+  const u128 threads =
+      (needed + level.work_per_thread - 1) / static_cast<u128>(level.work_per_thread);
+  return level.first_lambda + static_cast<u64>(threads);
+}
+
+}  // namespace multihit

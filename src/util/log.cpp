@@ -1,0 +1,55 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace multihit::log {
+
+namespace {
+
+std::atomic<Level> g_level{Level::kInfo};
+std::mutex g_emit_mutex;
+
+const char* level_name(Level level) noexcept {
+  switch (level) {
+    case Level::kTrace:
+      return "TRACE";
+    case Level::kDebug:
+      return "DEBUG";
+    case Level::kInfo:
+      return "INFO";
+    case Level::kWarn:
+      return "WARN";
+    case Level::kError:
+      return "ERROR";
+    case Level::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_level(Level level) noexcept { g_level.store(level, std::memory_order_relaxed); }
+
+Level level() noexcept { return g_level.load(std::memory_order_relaxed); }
+
+Level parse_level(std::string_view name) noexcept {
+  if (name == "trace") return Level::kTrace;
+  if (name == "debug") return Level::kDebug;
+  if (name == "info") return Level::kInfo;
+  if (name == "warn") return Level::kWarn;
+  if (name == "error") return Level::kError;
+  if (name == "off") return Level::kOff;
+  return Level::kInfo;
+}
+
+void emit(Level lvl, std::string_view message) {
+  if (level() > lvl) return;
+  std::scoped_lock lock(g_emit_mutex);
+  std::fprintf(stderr, "[%s] %.*s\n", level_name(lvl), static_cast<int>(message.size()),
+               message.data());
+}
+
+}  // namespace multihit::log

@@ -1,0 +1,68 @@
+#pragma once
+// Lightweight leveled logger for library and tool diagnostics.
+//
+// Messages below the active level are discarded cheaply. Output goes to
+// stderr so experiment tables written to stdout stay machine-parseable.
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace multihit::log {
+
+enum class Level : int {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarn = 3,
+  kError = 4,
+  kOff = 5,
+};
+
+/// Sets the global log threshold; messages below it are dropped.
+void set_level(Level level) noexcept;
+
+/// Returns the current global log threshold.
+Level level() noexcept;
+
+/// Parses a level name ("trace", "debug", "info", "warn", "error", "off").
+/// Unknown names return kInfo.
+Level parse_level(std::string_view name) noexcept;
+
+/// Emits one log record at `level`. Prefer the MH_LOG_* macros below, which
+/// skip message formatting entirely when the level is disabled.
+void emit(Level level, std::string_view message);
+
+namespace detail {
+
+class Record {
+ public:
+  explicit Record(Level level) : level_(level) {}
+  Record(const Record&) = delete;
+  Record& operator=(const Record&) = delete;
+  ~Record() { emit(level_, stream_.str()); }
+
+  template <typename T>
+  Record& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  Level level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+
+}  // namespace multihit::log
+
+#define MH_LOG_AT(lvl)                            \
+  if (::multihit::log::level() <= (lvl))          \
+  ::multihit::log::detail::Record(lvl)
+
+#define MH_LOG_TRACE MH_LOG_AT(::multihit::log::Level::kTrace)
+#define MH_LOG_DEBUG MH_LOG_AT(::multihit::log::Level::kDebug)
+#define MH_LOG_INFO MH_LOG_AT(::multihit::log::Level::kInfo)
+#define MH_LOG_WARN MH_LOG_AT(::multihit::log::Level::kWarn)
+#define MH_LOG_ERROR MH_LOG_AT(::multihit::log::Level::kError)

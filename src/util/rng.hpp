@@ -1,0 +1,68 @@
+#pragma once
+// Deterministic, fast pseudo-random number generation for synthetic data
+// and property tests.
+//
+// xoshiro256** seeded via splitmix64: every experiment in this repository is
+// reproducible from a single 64-bit seed. std::mt19937_64 is deliberately
+// avoided — its seeding is implementation-dependent across stdlib versions.
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace multihit {
+
+/// splitmix64 step: used for seeding and as a cheap stateless hash.
+std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+/// xoshiro256** PRNG. Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~0ULL; }
+
+  result_type operator()() noexcept;
+
+  /// Uniform integer in [0, bound). bound must be > 0. Uses Lemire's
+  /// nearly-divisionless rejection method; unbiased.
+  std::uint64_t uniform(std::uint64_t bound) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_range(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniform_double() noexcept;
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool bernoulli(double p) noexcept;
+
+  /// Standard normal variate (Box-Muller, one value per call).
+  double normal() noexcept;
+
+  /// Poisson variate with mean lambda >= 0 (Knuth for small lambda,
+  /// normal approximation above 64).
+  std::uint64_t poisson(double lambda) noexcept;
+
+  /// Samples k distinct values from [0, n) in increasing order.
+  /// Requires k <= n. O(k) expected time via Floyd's algorithm + sort.
+  std::vector<std::uint64_t> sample_without_replacement(std::uint64_t n, std::uint64_t k);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& values) noexcept {
+    for (std::size_t i = values.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(uniform(i));
+      using std::swap;
+      swap(values[i - 1], values[j]);
+    }
+  }
+
+ private:
+  std::array<std::uint64_t, 4> state_;
+};
+
+}  // namespace multihit

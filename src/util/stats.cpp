@@ -1,0 +1,74 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace multihit::stats {
+
+double mean(std::span<const double> values) noexcept {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double stddev(std::span<const double> values) noexcept {
+  if (values.size() < 2) return 0.0;
+  const double m = mean(values);
+  double accum = 0.0;
+  for (double v : values) accum += (v - m) * (v - m);
+  return std::sqrt(accum / static_cast<double>(values.size() - 1));
+}
+
+double min(std::span<const double> values) noexcept {
+  if (values.empty()) return 0.0;
+  return *std::min_element(values.begin(), values.end());
+}
+
+double max(std::span<const double> values) noexcept {
+  if (values.empty()) return 0.0;
+  return *std::max_element(values.begin(), values.end());
+}
+
+double percentile(std::span<const double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  p = std::clamp(p, 0.0, 100.0);
+  const double idx = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(idx);
+  const auto hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = idx - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+Interval wilson_interval(std::size_t successes, std::size_t trials, double z) {
+  if (trials == 0) return {0.0, 1.0};
+  const double n = static_cast<double>(trials);
+  const double phat = static_cast<double>(successes) / n;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double center = (phat + z2 / (2.0 * n)) / denom;
+  const double margin =
+      z * std::sqrt(phat * (1.0 - phat) / n + z2 / (4.0 * n * n)) / denom;
+  return {std::max(0.0, center - margin), std::min(1.0, center + margin)};
+}
+
+double pearson(std::span<const double> x, std::span<const double> y) noexcept {
+  if (x.size() != y.size() || x.size() < 2) return 0.0;
+  const double mx = mean(x);
+  const double my = mean(y);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0 || syy == 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+}  // namespace multihit::stats

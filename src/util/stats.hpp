@@ -1,0 +1,39 @@
+#pragma once
+// Small descriptive-statistics helpers used by the benchmark harness and the
+// classifier evaluation (mean, stddev, percentiles, Wilson confidence
+// intervals for binomial proportions — the paper's Fig. 9 error bars).
+
+#include <cstddef>
+#include <span>
+
+namespace multihit::stats {
+
+/// Arithmetic mean; 0 for an empty span.
+double mean(std::span<const double> values) noexcept;
+
+/// Sample standard deviation (n-1 denominator); 0 for fewer than 2 values.
+double stddev(std::span<const double> values) noexcept;
+
+/// Minimum / maximum; 0 for an empty span.
+double min(std::span<const double> values) noexcept;
+double max(std::span<const double> values) noexcept;
+
+/// Linear-interpolated percentile, p in [0, 100]. Copies and sorts.
+double percentile(std::span<const double> values, double p);
+
+/// A two-sided binomial proportion confidence interval.
+struct Interval {
+  double lo = 0.0;
+  double hi = 0.0;
+};
+
+/// Wilson score interval for `successes` out of `trials` at confidence
+/// `z` standard normal quantiles (1.959964 for 95%). Well-behaved for small
+/// n and proportions near 0/1, unlike the normal approximation.
+Interval wilson_interval(std::size_t successes, std::size_t trials, double z = 1.959964);
+
+/// Pearson correlation coefficient of two equal-length series; 0 when either
+/// series has zero variance or lengths mismatch.
+double pearson(std::span<const double> x, std::span<const double> y) noexcept;
+
+}  // namespace multihit::stats

@@ -1,0 +1,46 @@
+#pragma once
+// ASCII table / CSV emitters used by every bench binary so figure data is
+// both human-readable and trivially importable into a plotting tool.
+
+#include <ostream>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace multihit {
+
+/// A column-oriented table. Cells are strings, integers, or doubles; doubles
+/// render with a configurable precision.
+class Table {
+ public:
+  using Cell = std::variant<std::string, long long, double>;
+
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends one row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<Cell> row);
+
+  /// Number of data rows.
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+  /// Digits after the decimal point for double cells (default 4).
+  void set_precision(int digits) noexcept { precision_ = digits; }
+
+  /// Renders an aligned, boxed ASCII table.
+  void print(std::ostream& out) const;
+
+  /// Renders RFC-4180-ish CSV (quotes cells containing comma/quote/newline).
+  void print_csv(std::ostream& out) const;
+
+ private:
+  std::string render_cell(const Cell& cell) const;
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<Cell>> rows_;
+  int precision_ = 4;
+};
+
+/// Prints a "## <title>" section banner benches use between figure panels.
+void print_section(std::ostream& out, const std::string& title);
+
+}  // namespace multihit

@@ -1,0 +1,75 @@
+#include "combinat/binomial.hpp"
+
+#include <gtest/gtest.h>
+
+namespace multihit {
+namespace {
+
+TEST(Binomial, SmallValues) {
+  EXPECT_EQ(binomial(0, 0), 1u);
+  EXPECT_EQ(binomial(5, 0), 1u);
+  EXPECT_EQ(binomial(5, 5), 1u);
+  EXPECT_EQ(binomial(5, 2), 10u);
+  EXPECT_EQ(binomial(10, 3), 120u);
+  EXPECT_EQ(binomial(3, 5), 0u);
+}
+
+TEST(Binomial, PascalIdentityHolds) {
+  for (u64 n = 1; n <= 60; ++n) {
+    for (u64 k = 1; k <= n; ++k) {
+      EXPECT_EQ(binomial(n, k), binomial(n - 1, k - 1) + binomial(n - 1, k))
+          << "n=" << n << " k=" << k;
+    }
+  }
+}
+
+TEST(Binomial, PaperScaleValues) {
+  // The paper's key magnitudes: C(20000,4) ~ 6.66e15, BRCA's
+  // C(19411,4) ~ 5.9e15 (the "1.22e12 entries * 512 block" list, §III-E
+  // divides this by block size), C(19411,3) ~ 1.218e12 (3-hit space).
+  EXPECT_EQ(binomial(20000, 2), 199990000u);
+  EXPECT_EQ(binomial(19411, 3), 19411ULL * 19410 * 19409 / 6);
+  EXPECT_EQ(binomial(20000, 4), 6664666849995000ULL);
+}
+
+TEST(Binomial, CheckedOverflowDetection) {
+  EXPECT_FALSE(binomial_checked(20000, 5).has_value());  // ~2.7e19 > 2^64-1
+  EXPECT_TRUE(binomial_checked(20000, 4).has_value());
+  EXPECT_TRUE(binomial_checked(67, 33).has_value());  // near the u64 edge
+  EXPECT_FALSE(binomial_checked(68, 34).has_value());
+}
+
+TEST(Binomial, Binomial128HandlesLargerSpace) {
+  const auto value = binomial128(20000, 5);
+  ASSERT_TRUE(value.has_value());
+  // C(20000,5) = C(20000,4) * 19996 / 5.
+  const u128 expected = static_cast<u128>(6664666849995000ULL) * 19996u / 5u;
+  EXPECT_TRUE(*value == expected);
+}
+
+TEST(Binomial, TriangularMatchesBinomial) {
+  for (u64 n = 0; n <= 2000; n += 7) EXPECT_EQ(triangular(n), binomial(n, 2));
+  EXPECT_EQ(triangular(20000), binomial(20000, 2));
+}
+
+TEST(Binomial, TetrahedralMatchesBinomial) {
+  for (u64 n = 0; n <= 2000; n += 7) EXPECT_EQ(tetrahedral(n), binomial(n, 3));
+  EXPECT_EQ(tetrahedral(20000), binomial(20000, 3));
+}
+
+TEST(Binomial, QuarticMatchesBinomial) {
+  for (u64 n = 0; n <= 2000; n += 7) EXPECT_EQ(quartic(n), binomial(n, 4));
+  EXPECT_EQ(quartic(20000), binomial(20000, 4));
+  EXPECT_EQ(quartic(3), 0u);
+  EXPECT_EQ(quartic(4), 1u);
+}
+
+TEST(Binomial, FiguratesAreConstexpr) {
+  static_assert(triangular(4) == 6);
+  static_assert(tetrahedral(5) == 10);
+  static_assert(quartic(6) == 15);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace multihit

@@ -1,0 +1,93 @@
+#include "bitmat/bitops.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace multihit {
+namespace {
+
+std::vector<std::uint64_t> random_row(Rng& rng, std::size_t words) {
+  std::vector<std::uint64_t> row(words);
+  for (auto& w : row) w = rng();
+  return row;
+}
+
+// Naive per-bit reference.
+std::uint64_t naive_and_popcount(const std::vector<std::vector<std::uint64_t>>& rows) {
+  if (rows.empty()) return 0;
+  std::uint64_t count = 0;
+  for (std::size_t w = 0; w < rows[0].size(); ++w) {
+    for (int b = 0; b < 64; ++b) {
+      bool all = true;
+      for (const auto& row : rows) {
+        if (!((row[w] >> b) & 1)) {
+          all = false;
+          break;
+        }
+      }
+      count += all ? 1 : 0;
+    }
+  }
+  return count;
+}
+
+TEST(BitOps, PopcountRow) {
+  EXPECT_EQ(popcount_row(std::vector<std::uint64_t>{}), 0u);
+  EXPECT_EQ(popcount_row(std::vector<std::uint64_t>{0}), 0u);
+  EXPECT_EQ(popcount_row(std::vector<std::uint64_t>{~0ULL}), 64u);
+  EXPECT_EQ(popcount_row(std::vector<std::uint64_t>{0x5ULL, 0x3ULL}), 4u);
+}
+
+TEST(BitOps, AndPopcountMatchesNaive) {
+  Rng rng(99);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t words = 1 + rng.uniform(8);
+    const auto a = random_row(rng, words);
+    const auto b = random_row(rng, words);
+    const auto c = random_row(rng, words);
+    const auto d = random_row(rng, words);
+    EXPECT_EQ(and_popcount(a, b), naive_and_popcount({a, b}));
+    EXPECT_EQ(and_popcount(a, b, c), naive_and_popcount({a, b, c}));
+    EXPECT_EQ(and_popcount(a, b, c, d), naive_and_popcount({a, b, c, d}));
+  }
+}
+
+TEST(BitOps, AndPopcountIsCommutative) {
+  Rng rng(101);
+  const auto a = random_row(rng, 4);
+  const auto b = random_row(rng, 4);
+  const auto c = random_row(rng, 4);
+  EXPECT_EQ(and_popcount(a, b), and_popcount(b, a));
+  EXPECT_EQ(and_popcount(a, b, c), and_popcount(c, b, a));
+}
+
+TEST(BitOps, AndRowsStagingMatchesDirect) {
+  // The MemOpt identity: popcount((a&b) & c) == popcount(a & b & c).
+  Rng rng(103);
+  const auto a = random_row(rng, 6);
+  const auto b = random_row(rng, 6);
+  const auto c = random_row(rng, 6);
+  std::vector<std::uint64_t> staged(6);
+  and_rows(staged, a, b);
+  EXPECT_EQ(and_popcount(staged, c), and_popcount(a, b, c));
+}
+
+TEST(BitOps, AndRowsInplace) {
+  std::vector<std::uint64_t> dst{0xFF00FF00FF00FF00ULL, ~0ULL};
+  const std::vector<std::uint64_t> mask{0x0F0F0F0F0F0F0F0FULL, 0x1ULL};
+  and_rows_inplace(dst, mask);
+  EXPECT_EQ(dst[0], 0x0F000F000F000F00ULL & 0xFF00FF00FF00FF00ULL);
+  EXPECT_EQ(dst[1], 0x1ULL);
+}
+
+TEST(BitOps, EmptyRowsAreHandled) {
+  const std::vector<std::uint64_t> empty;
+  EXPECT_EQ(and_popcount(empty, empty), 0u);
+  EXPECT_EQ(and_popcount(empty, empty, empty, empty), 0u);
+}
+
+}  // namespace
+}  // namespace multihit

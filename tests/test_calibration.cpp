@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include "cluster/model.hpp"
+#include "core/engine.hpp"
+#include "data/generator.hpp"
+
+namespace multihit {
+namespace {
+
+TEST(Calibration, EmptyRunUsesDefault) {
+  EXPECT_DOUBLE_EQ(calibrate_coverage(GreedyResult{}), 0.45);
+}
+
+TEST(Calibration, PerfectSingleCoverIsOne) {
+  GreedyResult result;
+  IterationRecord it;
+  it.tp = 50;
+  it.tumor_remaining_before = 50;
+  it.tumor_remaining_after = 0;
+  result.iterations.push_back(it);
+  EXPECT_DOUBLE_EQ(calibrate_coverage(result), 1.0);
+}
+
+TEST(Calibration, MatchesKnownTrajectory) {
+  GreedyResult result;
+  // 100 -> 40 (0.6 covered), 40 -> 20 (0.5), 20 -> 0 (1.0).
+  const std::uint64_t tp[] = {60, 20, 20};
+  const std::uint32_t before[] = {100, 40, 20};
+  for (int i = 0; i < 3; ++i) {
+    IterationRecord it;
+    it.tp = tp[i];
+    it.tumor_remaining_before = before[i];
+    result.iterations.push_back(it);
+  }
+  EXPECT_NEAR(calibrate_coverage(result), (0.6 + 0.5 + 1.0) / 3.0, 1e-12);
+}
+
+TEST(Calibration, FunctionalRunFeedsTheModel) {
+  // End-to-end: run the functional greedy, calibrate, and model with the
+  // calibrated fraction — the modeled iteration count should be within a
+  // couple of the functional one.
+  SyntheticSpec spec;
+  spec.genes = 60;
+  spec.tumor_samples = 120;
+  spec.normal_samples = 80;
+  spec.hits = 3;
+  spec.num_combinations = 5;
+  spec.background_rate = 0.02;
+  spec.seed = 616;
+  const Dataset data = generate_dataset(spec);
+  EngineConfig config;
+  config.hits = 3;
+  const GreedyResult run =
+      run_greedy(data.tumor, data.normal, config, make_kernel_evaluator(3));
+  const double coverage = calibrate_coverage(run);
+  EXPECT_GT(coverage, 0.05);
+  EXPECT_LE(coverage, 1.0);
+
+  ModelInputs inputs;
+  inputs.hits = 3;
+  inputs.genes = spec.genes;
+  inputs.tumor_samples = spec.tumor_samples;
+  inputs.normal_samples = spec.normal_samples;
+  inputs.coverage_per_iteration = coverage;
+  SummitConfig small;
+  small.nodes = 1;
+  const auto modeled = model_cluster_run(small, inputs);
+  const auto functional_iterations = static_cast<double>(run.iterations.size());
+  EXPECT_NEAR(static_cast<double>(modeled.iterations.size()), functional_iterations,
+              functional_iterations * 0.6 + 2.0);
+}
+
+}  // namespace
+}  // namespace multihit

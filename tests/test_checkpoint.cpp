@@ -1,0 +1,143 @@
+#include "core/checkpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "data/generator.hpp"
+
+namespace multihit {
+namespace {
+
+Dataset checkpoint_dataset() {
+  SyntheticSpec spec;
+  spec.genes = 40;
+  spec.tumor_samples = 80;
+  spec.normal_samples = 60;
+  spec.hits = 3;
+  spec.num_combinations = 4;
+  spec.background_rate = 0.015;
+  spec.seed = 717;
+  return generate_dataset(spec);
+}
+
+TEST(Checkpoint, PausedPlusResumedEqualsStraightRun) {
+  // The allocation-limit workflow: run 2 iterations, "lose the allocation",
+  // resume — the combined selections must equal an uninterrupted run.
+  const Dataset data = checkpoint_dataset();
+  EngineConfig config;
+  config.hits = 3;
+  const Evaluator evaluator = make_kernel_evaluator(3);
+
+  const GreedyResult straight = run_greedy(data.tumor, data.normal, config, evaluator);
+
+  CheckpointState state =
+      run_greedy_checkpointed(data.tumor, data.normal, config, evaluator, 2);
+  EXPECT_EQ(state.progress.iterations.size(), 2u);
+  EXPECT_GT(state.progress.uncovered_tumor, 0u);
+  resume_greedy(state, data.normal, evaluator);
+
+  ASSERT_EQ(state.progress.iterations.size(), straight.iterations.size());
+  for (std::size_t i = 0; i < straight.iterations.size(); ++i) {
+    EXPECT_EQ(state.progress.iterations[i].genes, straight.iterations[i].genes) << i;
+    EXPECT_EQ(state.progress.iterations[i].tp, straight.iterations[i].tp) << i;
+  }
+  EXPECT_EQ(state.progress.uncovered_tumor, straight.uncovered_tumor);
+}
+
+TEST(Checkpoint, MultipleAllocationsOfOneIteration) {
+  const Dataset data = checkpoint_dataset();
+  EngineConfig config;
+  config.hits = 3;
+  const Evaluator evaluator = make_kernel_evaluator(3);
+  const GreedyResult straight = run_greedy(data.tumor, data.normal, config, evaluator);
+
+  CheckpointState state =
+      run_greedy_checkpointed(data.tumor, data.normal, config, evaluator, 1);
+  for (std::size_t round = 0; round < 50 && state.progress.uncovered_tumor > 0; ++round) {
+    const std::size_t before = state.progress.iterations.size();
+    resume_greedy(state, data.normal, evaluator, 1);
+    if (state.progress.iterations.size() == before) break;  // no further coverage
+  }
+  ASSERT_EQ(state.progress.iterations.size(), straight.iterations.size());
+  for (std::size_t i = 0; i < straight.iterations.size(); ++i) {
+    EXPECT_EQ(state.progress.iterations[i].genes, straight.iterations[i].genes);
+  }
+}
+
+TEST(Checkpoint, SerializationRoundTrip) {
+  const Dataset data = checkpoint_dataset();
+  EngineConfig config;
+  config.hits = 3;
+  const CheckpointState original =
+      run_greedy_checkpointed(data.tumor, data.normal, config, make_kernel_evaluator(3), 2);
+
+  std::stringstream buffer;
+  write_checkpoint(buffer, original);
+  const CheckpointState loaded = read_checkpoint(buffer);
+
+  EXPECT_EQ(loaded.hits, original.hits);
+  EXPECT_EQ(loaded.bit_splicing, original.bit_splicing);
+  EXPECT_EQ(loaded.tumor, original.tumor);
+  ASSERT_EQ(loaded.progress.iterations.size(), original.progress.iterations.size());
+  for (std::size_t i = 0; i < original.progress.iterations.size(); ++i) {
+    EXPECT_EQ(loaded.progress.iterations[i].genes, original.progress.iterations[i].genes);
+    EXPECT_DOUBLE_EQ(loaded.progress.iterations[i].f, original.progress.iterations[i].f);
+    EXPECT_EQ(loaded.progress.iterations[i].tp, original.progress.iterations[i].tp);
+  }
+  EXPECT_EQ(loaded.progress.uncovered_tumor, original.progress.uncovered_tumor);
+}
+
+TEST(Checkpoint, ResumeAfterSerializationMatchesStraightRun) {
+  const Dataset data = checkpoint_dataset();
+  EngineConfig config;
+  config.hits = 3;
+  const Evaluator evaluator = make_kernel_evaluator(3);
+  const GreedyResult straight = run_greedy(data.tumor, data.normal, config, evaluator);
+
+  const CheckpointState saved =
+      run_greedy_checkpointed(data.tumor, data.normal, config, evaluator, 3);
+  std::stringstream buffer;
+  write_checkpoint(buffer, saved);
+  CheckpointState restored = read_checkpoint(buffer);
+  resume_greedy(restored, data.normal, evaluator);
+
+  ASSERT_EQ(restored.progress.iterations.size(), straight.iterations.size());
+  for (std::size_t i = 0; i < straight.iterations.size(); ++i) {
+    EXPECT_EQ(restored.progress.iterations[i].genes, straight.iterations[i].genes);
+  }
+}
+
+TEST(Checkpoint, RejectsMalformedInput) {
+  {
+    std::stringstream buffer("wrong\n");
+    EXPECT_THROW(read_checkpoint(buffer), std::runtime_error);
+  }
+  {
+    std::stringstream buffer("multihit-checkpoint v1\nhits 3\n");
+    EXPECT_THROW(read_checkpoint(buffer), std::runtime_error);
+  }
+  {
+    // Iteration with wrong gene count for hits=3.
+    std::stringstream buffer(
+        "multihit-checkpoint v1\nhits 3\nbit-splicing 1\nuncovered 0\n"
+        "iterations 1\niter 0.5 3 10 5 2 1 2\ntumor 4 4\nend\n");
+    EXPECT_THROW(read_checkpoint(buffer), std::runtime_error);
+  }
+}
+
+TEST(Checkpoint, FileRoundTrip) {
+  const Dataset data = checkpoint_dataset();
+  EngineConfig config;
+  config.hits = 3;
+  const CheckpointState state =
+      run_greedy_checkpointed(data.tumor, data.normal, config, make_kernel_evaluator(3), 1);
+  const std::string path = testing::TempDir() + "/multihit_checkpoint_test.txt";
+  save_checkpoint(path, state);
+  const CheckpointState loaded = load_checkpoint(path);
+  EXPECT_EQ(loaded.tumor, state.tumor);
+  EXPECT_THROW(load_checkpoint("/nonexistent/chk.txt"), std::ios_base::failure);
+}
+
+}  // namespace
+}  // namespace multihit

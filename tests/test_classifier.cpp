@@ -1,0 +1,97 @@
+#include "classify/classifier.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/engine.hpp"
+#include "data/generator.hpp"
+
+namespace multihit {
+namespace {
+
+TEST(Classifier, PredictsTumorWhenAnyComboFullyMutated) {
+  BitMatrix m(4, 3);
+  // Sample 0: genes 0,1 mutated. Sample 1: gene 0 only. Sample 2: genes 2,3.
+  m.set(0, 0);
+  m.set(1, 0);
+  m.set(0, 1);
+  m.set(2, 2);
+  m.set(3, 2);
+  const CombinationClassifier clf({{0, 1}, {2, 3}});
+  EXPECT_TRUE(clf.predict_tumor(m, 0));
+  EXPECT_FALSE(clf.predict_tumor(m, 1));
+  EXPECT_TRUE(clf.predict_tumor(m, 2));
+}
+
+TEST(Classifier, NoCombinationsPredictsNormal) {
+  BitMatrix m(2, 1);
+  m.set(0, 0);
+  m.set(1, 0);
+  const CombinationClassifier clf({});
+  EXPECT_FALSE(clf.predict_tumor(m, 0));
+}
+
+TEST(Classifier, ReportCountsAndRates) {
+  ClassificationReport r;
+  r.true_positives = 8;
+  r.false_negatives = 2;
+  r.true_negatives = 9;
+  r.false_positives = 1;
+  EXPECT_DOUBLE_EQ(r.sensitivity(), 0.8);
+  EXPECT_DOUBLE_EQ(r.specificity(), 0.9);
+  const auto sci = r.sensitivity_ci();
+  EXPECT_LT(sci.lo, 0.8);
+  EXPECT_GT(sci.hi, 0.8);
+}
+
+TEST(Classifier, ReportDegenerateRates) {
+  ClassificationReport r;
+  EXPECT_DOUBLE_EQ(r.sensitivity(), 0.0);
+  EXPECT_DOUBLE_EQ(r.specificity(), 0.0);
+}
+
+TEST(Classifier, EndToEndTrainTestRecovery) {
+  // The paper's Fig. 9 protocol in miniature: train the greedy on 75% of a
+  // planted dataset, classify the held-out 25%.
+  SyntheticSpec spec;
+  spec.genes = 50;
+  spec.tumor_samples = 120;
+  spec.normal_samples = 100;
+  spec.hits = 3;
+  spec.num_combinations = 3;
+  spec.background_rate = 0.015;
+  spec.driver_detect_rate = 1.0;
+  spec.seed = 2024;
+  const Dataset data = generate_dataset(spec);
+  const auto split = split_dataset(data, 0.75, 7);
+
+  EngineConfig config;
+  config.hits = 3;
+  const GreedyResult trained =
+      run_greedy(split.train.tumor, split.train.normal, config, make_serial_evaluator(3));
+  const CombinationClassifier clf(trained.combinations());
+  const ClassificationReport report = evaluate_classifier(clf, split.test);
+
+  // Planted data with full detection should classify nearly perfectly.
+  EXPECT_GT(report.sensitivity(), 0.9);
+  EXPECT_GT(report.specificity(), 0.9);
+  EXPECT_EQ(report.true_positives + report.false_negatives, split.test.tumor_samples());
+  EXPECT_EQ(report.true_negatives + report.false_positives, split.test.normal_samples());
+}
+
+TEST(Classifier, EvaluateCountsEverySample) {
+  SyntheticSpec spec;
+  spec.genes = 20;
+  spec.tumor_samples = 30;
+  spec.normal_samples = 25;
+  spec.hits = 2;
+  spec.num_combinations = 2;
+  spec.seed = 5;
+  const Dataset data = generate_dataset(spec);
+  const CombinationClassifier clf({data.planted[0]});
+  const auto report = evaluate_classifier(clf, data);
+  EXPECT_EQ(report.true_positives + report.false_negatives, 30u);
+  EXPECT_EQ(report.true_negatives + report.false_positives, 25u);
+}
+
+}  // namespace
+}  // namespace multihit

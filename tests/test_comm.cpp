@@ -1,0 +1,149 @@
+#include "mpisim/comm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/result.hpp"
+
+namespace multihit {
+namespace {
+
+TEST(CommCostModel, AlphaBetaCost) {
+  const CommCostModel model{.latency = 2e-6, .bandwidth = 1e9};
+  EXPECT_DOUBLE_EQ(model.cost(0), 2e-6);
+  EXPECT_DOUBLE_EQ(model.cost(1000), 2e-6 + 1e-6);
+}
+
+TEST(SimComm, SingleRankIsTrivial) {
+  SimComm comm(1);
+  comm.compute(0, 5.0);
+  comm.barrier();
+  EXPECT_DOUBLE_EQ(comm.finish_time(), 5.0);
+  EXPECT_DOUBLE_EQ(comm.comm_time(0), 0.0);
+}
+
+TEST(SimComm, ZeroRanksRejected) {
+  EXPECT_THROW(SimComm(0), std::invalid_argument);
+}
+
+TEST(SimComm, ComputeAdvancesOnlyThatRank) {
+  SimComm comm(3);
+  comm.compute(1, 2.0);
+  EXPECT_DOUBLE_EQ(comm.clock(0), 0.0);
+  EXPECT_DOUBLE_EQ(comm.clock(1), 2.0);
+  EXPECT_DOUBLE_EQ(comm.compute_time(1), 2.0);
+}
+
+TEST(SimComm, SendWaitsForSender) {
+  SimComm comm(2, CommCostModel{.latency = 1e-6, .bandwidth = 1e9});
+  comm.compute(0, 1.0);  // sender busy until t=1
+  comm.send(0, 1, 1000);
+  // Receiver completes at max(1.0, 0.0) + (1e-6 + 1e-6) = 1.000002.
+  EXPECT_NEAR(comm.clock(1), 1.000002, 1e-9);
+  EXPECT_NEAR(comm.comm_time(1), 1.000002, 1e-9);  // it was idle-waiting
+}
+
+TEST(SimComm, ReduceProducesCorrectValue) {
+  for (const std::uint32_t p : {1u, 2u, 3u, 4u, 5u, 8u, 13u, 64u, 100u}) {
+    SimComm comm(p);
+    std::vector<int> values(p);
+    std::iota(values.begin(), values.end(), 1);  // 1..p
+    const int sum = comm.reduce(std::span<const int>(values), 0, 4,
+                                [](int a, int b) { return a + b; });
+    EXPECT_EQ(sum, static_cast<int>(p * (p + 1) / 2)) << "p=" << p;
+  }
+}
+
+TEST(SimComm, ReduceToNonzeroRoot) {
+  SimComm comm(7);
+  std::vector<int> values{5, 1, 9, 2, 8, 3, 4};
+  const int best = comm.reduce(std::span<const int>(values), 3, 4,
+                               [](int a, int b) { return std::max(a, b); });
+  EXPECT_EQ(best, 9);
+}
+
+TEST(SimComm, ReduceMergesEvalResults) {
+  // The project's actual reduction: 20-byte candidates, merge_results op.
+  SimComm comm(6);
+  std::vector<EvalResult> candidates(6);
+  for (std::uint32_t r = 0; r < 6; ++r) {
+    candidates[r].valid = true;
+    candidates[r].f = 0.1 * r;
+    candidates[r].combo_rank = 100 - r;
+  }
+  const EvalResult best =
+      comm.reduce(std::span<const EvalResult>(candidates), 0, 20,
+                  [](const EvalResult& a, const EvalResult& b) { return merge_results(a, b); });
+  EXPECT_DOUBLE_EQ(best.f, 0.5);
+  EXPECT_EQ(best.combo_rank, 95u);
+}
+
+TEST(SimComm, ReduceTimeGrowsLogarithmically) {
+  const CommCostModel model{.latency = 1e-5, .bandwidth = 1e12};
+  auto reduce_time = [&](std::uint32_t p) {
+    SimComm comm(p, model);
+    std::vector<int> values(p, 1);
+    comm.reduce(std::span<const int>(values), 0, 20, [](int a, int b) { return a + b; });
+    return comm.finish_time();
+  };
+  const double t4 = reduce_time(4);
+  const double t64 = reduce_time(64);
+  const double t1024 = reduce_time(1024);
+  // log2: 2, 6, 10 rounds respectively.
+  EXPECT_NEAR(t64 / t4, 3.0, 0.2);
+  EXPECT_NEAR(t1024 / t64, 10.0 / 6.0, 0.1);
+  EXPECT_LT(t1024, 1e-3);  // 20-byte reduce over 1024 ranks stays sub-ms
+}
+
+TEST(SimComm, ReduceAbsorbsSkew) {
+  // Fig. 8's point: with compute skew much larger than message cost, the
+  // reduce finishes essentially when the slowest rank does.
+  SimComm comm(16);
+  for (std::uint32_t r = 0; r < 16; ++r) comm.compute(r, 1.0 + 0.01 * r);
+  std::vector<int> values(16, 0);
+  comm.reduce(std::span<const int>(values), 0, 20, [](int a, int b) { return a + b; });
+  EXPECT_NEAR(comm.finish_time(), 1.15, 0.001);  // slowest rank + tiny comm
+}
+
+TEST(SimComm, BroadcastAlignsClocks) {
+  SimComm comm(8);
+  comm.compute(0, 3.0);
+  comm.broadcast(0, 20);
+  for (std::uint32_t r = 0; r < 8; ++r) {
+    EXPECT_GE(comm.clock(r), 3.0) << "rank " << r;
+  }
+}
+
+TEST(SimComm, BarrierAlignsToSlowest) {
+  SimComm comm(5);
+  comm.compute(3, 7.0);
+  comm.barrier();
+  for (std::uint32_t r = 0; r < 5; ++r) EXPECT_GE(comm.clock(r), 7.0);
+  EXPECT_DOUBLE_EQ(comm.compute_time(3), 7.0);
+  EXPECT_GT(comm.comm_time(0), 6.9);  // rank 0 waited
+}
+
+TEST(SimComm, AllreduceDistributesResult) {
+  SimComm comm(9);
+  std::vector<int> values(9, 2);
+  const int sum = comm.allreduce(std::span<const int>(values), 4,
+                                 [](int a, int b) { return a + b; });
+  EXPECT_EQ(sum, 18);
+  const double done = comm.clock(0);
+  for (std::uint32_t r = 1; r < 9; ++r) EXPECT_GT(comm.clock(r), 0.0);
+  EXPECT_GT(done, 0.0);
+}
+
+TEST(SimComm, CommTimeAccountingIsConsistent) {
+  SimComm comm(4);
+  comm.compute(0, 1.0);
+  comm.compute(1, 2.0);
+  comm.barrier();
+  for (std::uint32_t r = 0; r < 4; ++r) {
+    EXPECT_NEAR(comm.compute_time(r) + comm.comm_time(r), comm.clock(r), 1e-12) << r;
+  }
+}
+
+}  // namespace
+}  // namespace multihit

@@ -1,0 +1,103 @@
+#include "combinat/linearize.hpp"
+
+#include <gtest/gtest.h>
+
+namespace multihit {
+namespace {
+
+TEST(Linearize, PairRankFirstValues) {
+  // Colex order: (0,1) (0,2) (1,2) (0,3) (1,3) (2,3) ...
+  EXPECT_EQ(rank_pair({0, 1}), 0u);
+  EXPECT_EQ(rank_pair({0, 2}), 1u);
+  EXPECT_EQ(rank_pair({1, 2}), 2u);
+  EXPECT_EQ(rank_pair({0, 3}), 3u);
+  EXPECT_EQ(rank_pair({2, 3}), 5u);
+}
+
+TEST(Linearize, PairRoundTripExhaustive) {
+  // Full bijection over G = 200: every λ < C(200,2) maps to a unique valid
+  // pair and back.
+  const u64 total = triangular(200);
+  for (u64 lambda = 0; lambda < total; ++lambda) {
+    const Pair p = unrank_pair(lambda);
+    ASSERT_LT(p.i, p.j);
+    ASSERT_LT(p.j, 200u);
+    ASSERT_EQ(rank_pair(p), lambda) << "lambda=" << lambda;
+  }
+}
+
+TEST(Linearize, PairRoundTripAtScale) {
+  // Spot checks at the paper's scale (C(20000,2) ≈ 2e8) and at u64-stressing
+  // magnitudes where naive sqrt would go wrong.
+  for (const u64 lambda :
+       {u64{0}, u64{1}, triangular(20000) - 1, u64{1} << 40, (u64{1} << 52) + 12345}) {
+    const Pair p = unrank_pair(lambda);
+    EXPECT_EQ(rank_pair(p), lambda);
+  }
+}
+
+TEST(Linearize, TripleRankFirstValues) {
+  // Colex: (0,1,2) (0,1,3) (0,2,3) (1,2,3) (0,1,4) ...
+  EXPECT_EQ(rank_triple({0, 1, 2}), 0u);
+  EXPECT_EQ(rank_triple({0, 1, 3}), 1u);
+  EXPECT_EQ(rank_triple({0, 2, 3}), 2u);
+  EXPECT_EQ(rank_triple({1, 2, 3}), 3u);
+  EXPECT_EQ(rank_triple({0, 1, 4}), 4u);
+}
+
+TEST(Linearize, TripleRoundTripExhaustive) {
+  const u64 total = tetrahedral(60);
+  for (u64 lambda = 0; lambda < total; ++lambda) {
+    const Triple t = unrank_triple(lambda);
+    ASSERT_LT(t.i, t.j);
+    ASSERT_LT(t.j, t.k);
+    ASSERT_LT(t.k, 60u);
+    ASSERT_EQ(rank_triple(t), lambda) << "lambda=" << lambda;
+  }
+}
+
+TEST(Linearize, TripleRoundTripAtScale) {
+  // C(19411,3) is the BRCA 3x1 thread space; also push beyond to 2^62.
+  // ~u64{0} exercises the fix-up probes whose C(k+1,3) exceeds u64.
+  for (const u64 lambda : {u64{0}, u64{1}, tetrahedral(19411) - 1, tetrahedral(20000) - 1,
+                           u64{1} << 45, (u64{1} << 62) + 987654321, ~u64{0}}) {
+    const Triple t = unrank_triple(lambda);
+    EXPECT_EQ(rank_triple(t), lambda) << "lambda=" << lambda;
+  }
+}
+
+TEST(Linearize, LogExpVariantMatchesExactExhaustive) {
+  const u64 total = tetrahedral(80);
+  for (u64 lambda = 0; lambda < total; ++lambda) {
+    const Triple exact = unrank_triple(lambda);
+    const Triple paper = unrank_triple_logexp(lambda);
+    ASSERT_EQ(exact, paper) << "lambda=" << lambda;
+  }
+}
+
+TEST(Linearize, LogExpVariantMatchesExactAtScale) {
+  // The log/exp trick exists precisely because 729λ² overflows u64 at the
+  // paper's scale (§III-F); verify it stays exact there.
+  for (u64 lambda = 1; lambda < tetrahedral(19411); lambda = lambda * 3 + 17) {
+    const Triple exact = unrank_triple(lambda);
+    const Triple paper = unrank_triple_logexp(lambda);
+    ASSERT_EQ(exact, paper) << "lambda=" << lambda;
+  }
+  EXPECT_EQ(unrank_triple_logexp(0), (Triple{0, 1, 2}));
+}
+
+TEST(Linearize, TetrahedralLevelBoundaries) {
+  // Level k covers λ ∈ [C(k,3), C(k+1,3)).
+  for (std::uint32_t k = 2; k < 200; ++k) {
+    EXPECT_EQ(tetrahedral_level(tetrahedral(k)), k);
+    EXPECT_EQ(tetrahedral_level(tetrahedral(k + 1) - 1), k);
+  }
+}
+
+TEST(Linearize, TetrahedralLevelAtScale) {
+  EXPECT_EQ(tetrahedral_level(tetrahedral(19411)), 19411u);
+  EXPECT_EQ(tetrahedral_level(tetrahedral(19411) - 1), 19410u);
+}
+
+}  // namespace
+}  // namespace multihit

@@ -1,0 +1,69 @@
+#include "util/log.hpp"
+
+#include <gtest/gtest.h>
+
+namespace multihit::log {
+namespace {
+
+class LogLevelGuard {
+ public:
+  LogLevelGuard() : saved_(level()) {}
+  ~LogLevelGuard() { set_level(saved_); }
+
+ private:
+  Level saved_;
+};
+
+TEST(Log, LevelRoundTrip) {
+  LogLevelGuard guard;
+  set_level(Level::kWarn);
+  EXPECT_EQ(level(), Level::kWarn);
+  set_level(Level::kTrace);
+  EXPECT_EQ(level(), Level::kTrace);
+}
+
+TEST(Log, ParseLevelNames) {
+  EXPECT_EQ(parse_level("trace"), Level::kTrace);
+  EXPECT_EQ(parse_level("debug"), Level::kDebug);
+  EXPECT_EQ(parse_level("info"), Level::kInfo);
+  EXPECT_EQ(parse_level("warn"), Level::kWarn);
+  EXPECT_EQ(parse_level("error"), Level::kError);
+  EXPECT_EQ(parse_level("off"), Level::kOff);
+  EXPECT_EQ(parse_level("bogus"), Level::kInfo);  // unknown -> info
+}
+
+TEST(Log, MacrosSkipFormattingWhenDisabled) {
+  LogLevelGuard guard;
+  set_level(Level::kOff);
+  int evaluations = 0;
+  const auto expensive = [&] {
+    ++evaluations;
+    return 42;
+  };
+  MH_LOG_DEBUG << "value " << expensive();
+  EXPECT_EQ(evaluations, 0);  // the whole statement short-circuits
+  set_level(Level::kTrace);
+  MH_LOG_DEBUG << "value " << expensive();
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST(Log, EmitRespectsThreshold) {
+  LogLevelGuard guard;
+  set_level(Level::kError);
+  // Below-threshold emits must be no-ops (no crash, no output assertions
+  // possible on stderr here — the contract is simply "does not throw").
+  emit(Level::kInfo, "suppressed");
+  emit(Level::kError, "visible");
+  SUCCEED();
+}
+
+TEST(Log, OrderingOfLevels) {
+  EXPECT_LT(static_cast<int>(Level::kTrace), static_cast<int>(Level::kDebug));
+  EXPECT_LT(static_cast<int>(Level::kDebug), static_cast<int>(Level::kInfo));
+  EXPECT_LT(static_cast<int>(Level::kInfo), static_cast<int>(Level::kWarn));
+  EXPECT_LT(static_cast<int>(Level::kWarn), static_cast<int>(Level::kError));
+  EXPECT_LT(static_cast<int>(Level::kError), static_cast<int>(Level::kOff));
+}
+
+}  // namespace
+}  // namespace multihit::log

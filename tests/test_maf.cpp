@@ -1,0 +1,118 @@
+#include "data/maf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+namespace multihit {
+namespace {
+
+SyntheticSpec maf_spec() {
+  SyntheticSpec spec;
+  spec.genes = 50;
+  spec.tumor_samples = 60;
+  spec.normal_samples = 40;
+  spec.hits = 3;
+  spec.num_combinations = 3;
+  spec.background_rate = 0.03;
+  spec.seed = 21;
+  return spec;
+}
+
+TEST(Maf, SummarizeMatchesMatrixGenerator) {
+  // The MAF layer must collapse to exactly the matrices the direct generator
+  // produces for the same spec — it is the same data with positions added.
+  const auto spec = maf_spec();
+  const MafStudy study = generate_maf_study(spec);
+  const Dataset from_maf = summarize_maf(study);
+  const Dataset direct = generate_dataset(spec);
+  EXPECT_EQ(from_maf.tumor, direct.tumor);
+  EXPECT_EQ(from_maf.normal, direct.normal);
+  EXPECT_EQ(from_maf.planted, direct.planted);
+}
+
+TEST(Maf, DriverGenesAreFlagged) {
+  const MafStudy study = generate_maf_study(maf_spec());
+  std::uint32_t drivers = 0;
+  for (const auto& gene : study.genes) drivers += gene.driver ? 1 : 0;
+  EXPECT_EQ(drivers, 9u);  // 3 combos x 3 hits
+  for (const auto& combo : study.planted) {
+    for (std::uint32_t g : combo) EXPECT_TRUE(study.genes[g].driver);
+  }
+}
+
+TEST(Maf, DriverSymbolsAreDistinctive) {
+  const MafStudy study = generate_maf_study(maf_spec());
+  for (const auto& gene : study.genes) {
+    if (gene.driver) {
+      EXPECT_EQ(gene.symbol.rfind("DRV", 0), 0u);
+      EXPECT_GE(gene.hotspot_position, 1u);
+      EXPECT_LE(gene.hotspot_position, gene.protein_length);
+      EXPECT_GT(gene.hotspot_fraction, 0.5);
+    } else {
+      EXPECT_EQ(gene.symbol.rfind("PSG", 0), 0u);
+    }
+  }
+}
+
+TEST(Maf, PositionsAreWithinProteins) {
+  const MafStudy study = generate_maf_study(maf_spec());
+  ASSERT_FALSE(study.records.empty());
+  for (const MafRecord& rec : study.records) {
+    ASSERT_LT(rec.gene, study.genes.size());
+    EXPECT_GE(rec.position, 1u);
+    EXPECT_LE(rec.position, study.genes[rec.gene].protein_length);
+  }
+}
+
+TEST(Maf, DriverTumorMutationsConcentrateAtHotspot) {
+  // The IDH1-like signature (paper Fig. 10a): in tumor samples most driver
+  // mutations land on one position.
+  const MafStudy study = generate_maf_study(maf_spec());
+  const std::uint32_t driver = study.planted[0][0];
+  const auto hist = position_histogram(study, driver, /*tumor=*/true);
+  const std::uint32_t hotspot = study.genes[driver].hotspot_position;
+  const auto total = std::accumulate(hist.begin(), hist.end(), 0u);
+  ASSERT_GT(total, 10u);
+  EXPECT_GT(static_cast<double>(hist[hotspot - 1]) / total, 0.5);
+}
+
+TEST(Maf, PassengerMutationsAreSpread) {
+  // The MUC6-like signature (paper Fig. 10b): no dominant position.
+  const MafStudy study = generate_maf_study(maf_spec());
+  // Aggregate across all passenger genes (each gene alone has few records).
+  std::uint32_t max_count = 0, total = 0;
+  for (std::uint32_t g = 0; g < study.genes.size(); ++g) {
+    if (study.genes[g].driver) continue;
+    const auto hist = position_histogram(study, g, /*tumor=*/true);
+    for (std::uint32_t c : hist) {
+      max_count = std::max(max_count, c);
+      total += c;
+    }
+  }
+  ASSERT_GT(total, 20u);
+  EXPECT_LT(static_cast<double>(max_count) / total, 0.2);
+}
+
+TEST(Maf, NormalDriverMutationsHaveNoHotspot) {
+  // Paper Fig. 10: the hotspot appears in tumor samples only.
+  auto spec = maf_spec();
+  spec.background_rate = 0.2;  // ensure some normal-sample driver-gene records
+  const MafStudy study = generate_maf_study(spec);
+  const std::uint32_t driver = study.planted[0][0];
+  const auto hist = position_histogram(study, driver, /*tumor=*/false);
+  const std::uint32_t hotspot = study.genes[driver].hotspot_position;
+  const auto total = std::accumulate(hist.begin(), hist.end(), 0u);
+  if (total >= 5) {
+    EXPECT_LT(static_cast<double>(hist[hotspot - 1]) / total, 0.5);
+  }
+}
+
+TEST(Maf, HistogramRejectsBadGene) {
+  const MafStudy study = generate_maf_study(maf_spec());
+  EXPECT_THROW(position_histogram(study, 10000, true), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace multihit

@@ -1,0 +1,124 @@
+#include "data/maf_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace multihit {
+namespace {
+
+MafStudy sample_study() {
+  SyntheticSpec spec;
+  spec.genes = 25;
+  spec.tumor_samples = 30;
+  spec.normal_samples = 20;
+  spec.hits = 2;
+  spec.num_combinations = 2;
+  spec.background_rate = 0.04;
+  spec.seed = 4321;
+  return generate_maf_study(spec);
+}
+
+TEST(MafIo, RoundTripPreservesEverything) {
+  const MafStudy original = sample_study();
+  std::stringstream buffer;
+  write_maf(buffer, original);
+  const MafStudy loaded = read_maf(buffer);
+
+  EXPECT_EQ(loaded.name, original.name);
+  EXPECT_EQ(loaded.tumor_samples, original.tumor_samples);
+  EXPECT_EQ(loaded.normal_samples, original.normal_samples);
+  EXPECT_EQ(loaded.planted, original.planted);
+  ASSERT_EQ(loaded.genes.size(), original.genes.size());
+  for (std::size_t g = 0; g < original.genes.size(); ++g) {
+    EXPECT_EQ(loaded.genes[g].symbol, original.genes[g].symbol);
+    EXPECT_EQ(loaded.genes[g].protein_length, original.genes[g].protein_length);
+    EXPECT_EQ(loaded.genes[g].driver, original.genes[g].driver);
+    EXPECT_EQ(loaded.genes[g].hotspot_position, original.genes[g].hotspot_position);
+    EXPECT_NEAR(loaded.genes[g].hotspot_fraction, original.genes[g].hotspot_fraction, 1e-5);
+  }
+  ASSERT_EQ(loaded.records.size(), original.records.size());
+  for (std::size_t r = 0; r < original.records.size(); ++r) {
+    EXPECT_EQ(loaded.records[r].gene, original.records[r].gene);
+    EXPECT_EQ(loaded.records[r].sample, original.records[r].sample);
+    EXPECT_EQ(loaded.records[r].position, original.records[r].position);
+    EXPECT_EQ(loaded.records[r].tumor, original.records[r].tumor);
+  }
+}
+
+TEST(MafIo, RoundTripSummarizesIdentically) {
+  // The loaded study must collapse to the same matrices.
+  const MafStudy original = sample_study();
+  std::stringstream buffer;
+  write_maf(buffer, original);
+  const MafStudy loaded = read_maf(buffer);
+  const Dataset a = summarize_maf(original);
+  const Dataset b = summarize_maf(loaded);
+  EXPECT_EQ(a.tumor, b.tumor);
+  EXPECT_EQ(a.normal, b.normal);
+}
+
+TEST(MafIo, RejectsBadMagic) {
+  std::stringstream buffer("not-a-maf\n");
+  EXPECT_THROW(read_maf(buffer), std::runtime_error);
+}
+
+TEST(MafIo, RejectsMissingStudyLine) {
+  std::stringstream buffer("#multihit-maf v1\nHugo_Symbol\tGene_Id\tSample_Id\t"
+                           "Protein_Position\tSample_Class\n");
+  EXPECT_THROW(read_maf(buffer), std::runtime_error);
+}
+
+TEST(MafIo, RejectsOutOfRangeRecord) {
+  std::stringstream buffer(
+      "#multihit-maf v1\n#study x 2 2\n#gene 0 TP53 100 1 50 0.8\n"
+      "Hugo_Symbol\tGene_Id\tSample_Id\tProtein_Position\tSample_Class\n"
+      "TP53\t0\t5\t10\tTumor\n");
+  EXPECT_THROW(read_maf(buffer), std::runtime_error);  // sample 5 >= 2
+}
+
+TEST(MafIo, RejectsUnknownSampleClass) {
+  std::stringstream buffer(
+      "#multihit-maf v1\n#study x 2 2\n#gene 0 TP53 100 1 50 0.8\n"
+      "Hugo_Symbol\tGene_Id\tSample_Id\tProtein_Position\tSample_Class\n"
+      "TP53\t0\t1\t10\tMetastatic\n");
+  EXPECT_THROW(read_maf(buffer), std::runtime_error);
+}
+
+TEST(MafIo, RejectsPositionBeyondProtein) {
+  std::stringstream buffer(
+      "#multihit-maf v1\n#study x 2 2\n#gene 0 TP53 100 1 50 0.8\n"
+      "Hugo_Symbol\tGene_Id\tSample_Id\tProtein_Position\tSample_Class\n"
+      "TP53\t0\t1\t101\tTumor\n");
+  EXPECT_THROW(read_maf(buffer), std::runtime_error);
+}
+
+TEST(MafIo, NameWithWhitespaceIsSanitized) {
+  MafStudy study = sample_study();
+  study.name = "two words\tand tab";
+  std::stringstream buffer;
+  write_maf(buffer, study);
+  const MafStudy loaded = read_maf(buffer);
+  EXPECT_EQ(loaded.name, "two_words_and_tab");
+  EXPECT_EQ(loaded.tumor_samples, study.tumor_samples);  // header stayed in sync
+}
+
+TEST(MafIo, EmptyNameGetsPlaceholder) {
+  MafStudy study = sample_study();
+  study.name.clear();
+  std::stringstream buffer;
+  write_maf(buffer, study);
+  EXPECT_EQ(read_maf(buffer).name, "unnamed");
+}
+
+TEST(MafIo, FileRoundTrip) {
+  const MafStudy original = sample_study();
+  const std::string path = testing::TempDir() + "/multihit_maf_test.maf";
+  save_maf(path, original);
+  const MafStudy loaded = load_maf(path);
+  EXPECT_EQ(loaded.records.size(), original.records.size());
+  EXPECT_THROW(load_maf("/nonexistent/file.maf"), std::ios_base::failure);
+}
+
+}  // namespace
+}  // namespace multihit

@@ -1,0 +1,127 @@
+#include "data/mutation_level.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/engine.hpp"
+
+namespace multihit {
+namespace {
+
+SyntheticSpec study_spec() {
+  SyntheticSpec spec;
+  spec.genes = 40;
+  spec.tumor_samples = 90;
+  spec.normal_samples = 60;
+  spec.hits = 3;
+  spec.num_combinations = 3;
+  spec.background_rate = 0.02;
+  spec.seed = 333;
+  return spec;
+}
+
+TEST(MutationLevel, SitesAreSortedAndUnique) {
+  const MafStudy study = generate_maf_study(study_spec());
+  const MutationLevelData ml = build_mutation_level(study);
+  ASSERT_FALSE(ml.sites.empty());
+  for (std::size_t s = 1; s < ml.sites.size(); ++s) {
+    const auto& a = ml.sites[s - 1];
+    const auto& b = ml.sites[s];
+    EXPECT_TRUE(a.gene < b.gene || (a.gene == b.gene && a.position < b.position));
+  }
+  EXPECT_EQ(ml.data.genes(), ml.sites.size());
+  EXPECT_EQ(ml.data.tumor_samples(), study.tumor_samples);
+  EXPECT_EQ(ml.data.normal_samples(), study.normal_samples);
+}
+
+TEST(MutationLevel, MatrixMatchesRecords) {
+  const MafStudy study = generate_maf_study(study_spec());
+  const MutationLevelData ml = build_mutation_level(study);
+  // Every tumor record above threshold must be set; spot-check via records.
+  for (const MafRecord& rec : study.records) {
+    const auto row = find_site(ml, {rec.gene, rec.position});
+    if (!row) continue;
+    if (rec.tumor) {
+      EXPECT_TRUE(ml.data.tumor.get(*row, rec.sample));
+    } else {
+      EXPECT_TRUE(ml.data.normal.get(*row, rec.sample));
+    }
+  }
+}
+
+TEST(MutationLevel, SiteSpaceIsLargerThanGeneSpace) {
+  // The paper's §V point: mutation-level rows far outnumber genes.
+  const MafStudy study = generate_maf_study(study_spec());
+  const MutationLevelData ml = build_mutation_level(study);
+  EXPECT_GT(ml.sites.size(), 3u * study.genes.size());
+}
+
+TEST(MutationLevel, RecurrenceThresholdPrunes) {
+  const MafStudy study = generate_maf_study(study_spec());
+  const MutationLevelData all = build_mutation_level(study, 1);
+  const MutationLevelData recurrent = build_mutation_level(study, 3);
+  EXPECT_LT(recurrent.sites.size(), all.sites.size() / 2);
+  // Hotspot sites recur across most carrying samples and must survive.
+  for (const auto& combo : study.planted) {
+    for (const std::uint32_t gene : combo) {
+      const auto site = MutationSite{gene, study.genes[gene].hotspot_position};
+      EXPECT_TRUE(find_site(recurrent, site).has_value())
+          << "hotspot of gene " << gene << " pruned";
+    }
+  }
+}
+
+TEST(MutationLevel, PlantedCombinationsMapToHotspotSites) {
+  const MafStudy study = generate_maf_study(study_spec());
+  const MutationLevelData ml = build_mutation_level(study);
+  ASSERT_EQ(ml.data.planted.size(), study.planted.size());
+  for (std::size_t c = 0; c < ml.data.planted.size(); ++c) {
+    ASSERT_EQ(ml.data.planted[c].size(), 3u);
+    std::set<std::uint32_t> genes;
+    for (const std::uint32_t row : ml.data.planted[c]) {
+      const MutationSite& site = ml.sites[row];
+      genes.insert(site.gene);
+      EXPECT_EQ(site.position, study.genes[site.gene].hotspot_position);
+    }
+    // The site combination covers exactly the planted gene set.
+    const std::set<std::uint32_t> expected(study.planted[c].begin(), study.planted[c].end());
+    EXPECT_EQ(genes, expected);
+  }
+}
+
+TEST(MutationLevel, GreedyRecoversHotspotSites) {
+  // The §V promise: at mutation level, the greedy picks driver hotspot
+  // sites, not passenger positions.
+  auto spec = study_spec();
+  spec.background_rate = 0.01;
+  const MafStudy study = generate_maf_study(spec);
+  const MutationLevelData ml = build_mutation_level(study, 2);
+
+  EngineConfig config;
+  config.hits = 3;
+  const GreedyResult result = run_greedy(ml.data.tumor, ml.data.normal, config,
+                                         make_kernel_evaluator(3));
+  ASSERT_FALSE(result.iterations.empty());
+  // Count selected rows that are driver hotspots.
+  std::size_t hotspot_rows = 0, total_rows = 0;
+  for (const auto& it : result.iterations) {
+    for (const std::uint32_t row : it.genes) {
+      const MutationSite& site = ml.sites[row];
+      const GeneInfo& info = study.genes[site.gene];
+      ++total_rows;
+      if (info.driver && site.position == info.hotspot_position) ++hotspot_rows;
+    }
+  }
+  EXPECT_GT(static_cast<double>(hotspot_rows) / static_cast<double>(total_rows), 0.6);
+}
+
+TEST(MutationLevel, FindSiteMissReturnsNothing) {
+  const MafStudy study = generate_maf_study(study_spec());
+  const MutationLevelData ml = build_mutation_level(study);
+  EXPECT_FALSE(find_site(ml, {9999, 1}).has_value());
+}
+
+}  // namespace
+}  // namespace multihit

@@ -1,0 +1,181 @@
+// Cross-module algebraic properties: the invariants the distributed design
+// silently relies on (reduction algebra, F-score monotonicity, end-to-end
+// determinism), fuzzed over seeds.
+
+#include <gtest/gtest.h>
+
+#include "core/engine.hpp"
+#include "core/fscore.hpp"
+#include "core/result.hpp"
+#include "data/generator.hpp"
+#include "data/io.hpp"
+#include "util/rng.hpp"
+
+#include <sstream>
+
+namespace multihit {
+namespace {
+
+EvalResult random_result(Rng& rng) {
+  EvalResult r;
+  r.valid = rng.bernoulli(0.85);
+  if (r.valid) {
+    // Coarse grid so ties actually occur.
+    r.f = static_cast<double>(rng.uniform(8)) / 8.0;
+    r.combo_rank = rng.uniform(16);
+    r.tp = rng.uniform(50);
+    r.tn = rng.uniform(50);
+  }
+  return r;
+}
+
+bool same_winner(const EvalResult& a, const EvalResult& b) {
+  if (a.valid != b.valid) return false;
+  if (!a.valid) return true;
+  return a.f == b.f && a.combo_rank == b.combo_rank;
+}
+
+TEST(ReductionAlgebra, MergeIsAssociative) {
+  // parallelReduceMax and the MPI binomial tree apply merge_results in
+  // different orders; associativity is what makes them agree.
+  Rng rng(31337);
+  for (int trial = 0; trial < 500; ++trial) {
+    const EvalResult a = random_result(rng);
+    const EvalResult b = random_result(rng);
+    const EvalResult c = random_result(rng);
+    const EvalResult left = merge_results(merge_results(a, b), c);
+    const EvalResult right = merge_results(a, merge_results(b, c));
+    ASSERT_TRUE(same_winner(left, right)) << "trial " << trial;
+  }
+}
+
+TEST(ReductionAlgebra, MergeIsCommutative) {
+  Rng rng(271);
+  for (int trial = 0; trial < 500; ++trial) {
+    const EvalResult a = random_result(rng);
+    const EvalResult b = random_result(rng);
+    ASSERT_TRUE(same_winner(merge_results(a, b), merge_results(b, a))) << trial;
+  }
+}
+
+TEST(ReductionAlgebra, InvalidIsIdentity) {
+  Rng rng(577);
+  const EvalResult identity;  // invalid
+  for (int trial = 0; trial < 100; ++trial) {
+    const EvalResult a = random_result(rng);
+    EXPECT_TRUE(same_winner(merge_results(a, identity), a));
+    EXPECT_TRUE(same_winner(merge_results(identity, a), a));
+  }
+}
+
+TEST(ReductionAlgebra, MergeIsIdempotent) {
+  Rng rng(717);
+  for (int trial = 0; trial < 100; ++trial) {
+    const EvalResult a = random_result(rng);
+    EXPECT_TRUE(same_winner(merge_results(a, a), a));
+  }
+}
+
+TEST(FScore, MonotoneInTruePositives) {
+  const FContext ctx{FParams{}, 100, 80};
+  for (std::uint64_t tp = 0; tp < 100; ++tp) {
+    EXPECT_LT(f_score(ctx, tp, 10), f_score(ctx, tp + 1, 10));
+  }
+}
+
+TEST(FScore, MonotoneInTrueNegatives) {
+  const FContext ctx{FParams{}, 100, 80};
+  for (std::uint64_t nh = 1; nh <= 80; ++nh) {
+    EXPECT_LT(f_score(ctx, 10, nh), f_score(ctx, 10, nh - 1));
+  }
+}
+
+TEST(FScore, AlphaWeightsTpVsTn) {
+  // With alpha = 0.1, one extra TN outweighs one extra TP (the paper's bias
+  // correction).
+  const FContext ctx{FParams{}, 100, 80};
+  const double base = f_score(ctx, 10, 10);
+  const double plus_tp = f_score(ctx, 11, 10);
+  const double plus_tn = f_score(ctx, 10, 9);
+  EXPECT_GT(plus_tn - base, plus_tp - base);
+  EXPECT_NEAR((plus_tp - base) / (plus_tn - base), 0.1, 1e-9);
+}
+
+TEST(FScore, BoundedByUnitInterval) {
+  const FContext ctx{FParams{}, 50, 50};
+  EXPECT_GE(f_score(ctx, 0, 50), 0.0);
+  EXPECT_LE(f_score(ctx, 50, 0), 1.0);
+}
+
+TEST(EndToEnd, GreedyIsDeterministic) {
+  for (const std::uint64_t seed : {1ull, 99ull, 4242ull}) {
+    SyntheticSpec spec;
+    spec.genes = 35;
+    spec.tumor_samples = 60;
+    spec.normal_samples = 40;
+    spec.hits = 3;
+    spec.num_combinations = 3;
+    spec.seed = seed;
+    const Dataset data = generate_dataset(spec);
+    EngineConfig config;
+    config.hits = 3;
+    const GreedyResult a = run_greedy(data.tumor, data.normal, config, make_kernel_evaluator(3));
+    const GreedyResult b = run_greedy(data.tumor, data.normal, config, make_kernel_evaluator(3));
+    ASSERT_EQ(a.iterations.size(), b.iterations.size());
+    for (std::size_t i = 0; i < a.iterations.size(); ++i) {
+      EXPECT_EQ(a.iterations[i].genes, b.iterations[i].genes);
+      EXPECT_EQ(a.iterations[i].f, b.iterations[i].f);
+    }
+  }
+}
+
+TEST(EndToEnd, DatasetIoFuzzRoundTrips) {
+  Rng rng(888);
+  for (int trial = 0; trial < 5; ++trial) {
+    SyntheticSpec spec;
+    spec.genes = 10 + static_cast<std::uint32_t>(rng.uniform(80));
+    spec.tumor_samples = 1 + static_cast<std::uint32_t>(rng.uniform(150));
+    spec.normal_samples = 1 + static_cast<std::uint32_t>(rng.uniform(150));
+    spec.hits = 2 + static_cast<std::uint32_t>(rng.uniform(2));
+    spec.num_combinations = 1 + static_cast<std::uint32_t>(rng.uniform(3));
+    if (spec.hits * spec.num_combinations > spec.genes) continue;
+    spec.background_rate = rng.uniform_double() * 0.2;
+    spec.seed = rng();
+    const Dataset data = generate_dataset(spec);
+    std::stringstream buffer;
+    write_dataset(buffer, data);
+    const Dataset loaded = read_dataset(buffer);
+    ASSERT_EQ(loaded.tumor, data.tumor) << "trial " << trial;
+    ASSERT_EQ(loaded.normal, data.normal) << "trial " << trial;
+    ASSERT_EQ(loaded.planted, data.planted) << "trial " << trial;
+  }
+}
+
+TEST(EndToEnd, SelectionsAreValidCombinations) {
+  SyntheticSpec spec;
+  spec.genes = 30;
+  spec.tumor_samples = 50;
+  spec.normal_samples = 40;
+  spec.hits = 4;
+  spec.num_combinations = 2;
+  spec.seed = 999;
+  const Dataset data = generate_dataset(spec);
+  EngineConfig config;
+  config.hits = 4;
+  const GreedyResult result =
+      run_greedy(data.tumor, data.normal, config, make_kernel_evaluator(4));
+  for (const auto& it : result.iterations) {
+    ASSERT_EQ(it.genes.size(), 4u);
+    for (std::size_t t = 1; t < it.genes.size(); ++t) {
+      EXPECT_LT(it.genes[t - 1], it.genes[t]);  // strictly increasing
+    }
+    EXPECT_LT(it.genes.back(), spec.genes);
+    // The recorded TP must equal the actual intersection on the original
+    // matrix restricted to then-uncovered samples; at minimum it is bounded
+    // by the full-matrix intersection.
+    EXPECT_LE(it.tp, data.tumor.intersect_count(it.genes));
+  }
+}
+
+}  // namespace
+}  // namespace multihit

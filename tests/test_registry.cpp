@@ -1,0 +1,75 @@
+#include "data/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace multihit {
+namespace {
+
+TEST(Registry, HasTwelveTypes) {
+  EXPECT_EQ(cancer_registry().size(), 12u);
+}
+
+TEST(Registry, ElevenFourPlusHitTypes) {
+  // The paper studies 11 cancer types estimated to require >= 4 hits.
+  EXPECT_EQ(four_plus_hit_types().size(), 11u);
+  for (const auto& t : four_plus_hit_types()) EXPECT_GE(t.hits, 4u);
+}
+
+TEST(Registry, BrcaMatchesPaperDimensions) {
+  const auto brca = find_cancer_type("BRCA");
+  ASSERT_TRUE(brca.has_value());
+  EXPECT_EQ(brca->paper_genes, 19411u);
+  EXPECT_EQ(brca->paper_tumor_samples, 911u);
+  EXPECT_LT(brca->hits, 4u);  // BRCA was estimated to need only 2-3 hits
+}
+
+TEST(Registry, AccIsSmallest) {
+  const auto acc = find_cancer_type("ACC");
+  ASSERT_TRUE(acc.has_value());
+  for (const auto& t : cancer_registry()) {
+    EXPECT_LE(acc->paper_tumor_samples, t.paper_tumor_samples);
+  }
+}
+
+TEST(Registry, CodesAreUnique) {
+  std::set<std::string> codes;
+  for (const auto& t : cancer_registry()) {
+    EXPECT_TRUE(codes.insert(t.code).second) << "duplicate code " << t.code;
+  }
+}
+
+TEST(Registry, UnknownCodeReturnsNothing) {
+  EXPECT_FALSE(find_cancer_type("NOPE").has_value());
+}
+
+TEST(Registry, FunctionalSpecsAreEnumerable) {
+  // Functional downscales must stay laptop-enumerable for 4-hit spaces:
+  // C(G,4) <= ~1e8 per registry entry.
+  for (const auto& t : cancer_registry()) {
+    EXPECT_LE(t.functional.genes, 160u) << t.code;
+    EXPECT_GE(t.functional.genes, 4u * t.functional.num_combinations) << t.code;
+    EXPECT_EQ(t.functional.hits, t.hits) << t.code;
+  }
+}
+
+TEST(Registry, FunctionalDatasetGenerates) {
+  const auto acc = find_cancer_type("ACC");
+  ASSERT_TRUE(acc.has_value());
+  const Dataset data = generate_functional_dataset(*acc);
+  EXPECT_EQ(data.name, "ACC");
+  EXPECT_EQ(data.genes(), acc->functional.genes);
+  EXPECT_EQ(data.tumor_samples(), acc->functional.tumor_samples);
+  EXPECT_FALSE(data.planted.empty());
+}
+
+TEST(Registry, SeedsDifferAcrossTypes) {
+  std::set<std::uint64_t> seeds;
+  for (const auto& t : cancer_registry()) {
+    EXPECT_TRUE(seeds.insert(t.functional.seed).second) << t.code;
+  }
+}
+
+}  // namespace
+}  // namespace multihit

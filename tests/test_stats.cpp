@@ -1,0 +1,84 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace multihit::stats {
+namespace {
+
+TEST(Stats, MeanBasics) {
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(v), 2.5);
+  EXPECT_DOUBLE_EQ(mean(std::vector<double>{}), 0.0);
+  EXPECT_DOUBLE_EQ(mean(std::vector<double>{7.0}), 7.0);
+}
+
+TEST(Stats, StddevBasics) {
+  const std::vector<double> v{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_NEAR(stddev(v), 2.138, 1e-3);
+  EXPECT_DOUBLE_EQ(stddev(std::vector<double>{1.0}), 0.0);
+  EXPECT_DOUBLE_EQ(stddev(std::vector<double>{}), 0.0);
+}
+
+TEST(Stats, MinMax) {
+  const std::vector<double> v{3.0, -1.0, 5.0, 0.0};
+  EXPECT_DOUBLE_EQ(min(v), -1.0);
+  EXPECT_DOUBLE_EQ(max(v), 5.0);
+  EXPECT_DOUBLE_EQ(min(std::vector<double>{}), 0.0);
+  EXPECT_DOUBLE_EQ(max(std::vector<double>{}), 0.0);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  const std::vector<double> v{10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100.0), 40.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50.0), 25.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 200.0), 40.0);  // clamped
+  EXPECT_DOUBLE_EQ(percentile(std::vector<double>{}, 50.0), 0.0);
+}
+
+TEST(Stats, WilsonIntervalContainsProportion) {
+  const auto ci = wilson_interval(83, 100);
+  EXPECT_LT(ci.lo, 0.83);
+  EXPECT_GT(ci.hi, 0.83);
+  EXPECT_GT(ci.lo, 0.70);
+  EXPECT_LT(ci.hi, 0.92);
+}
+
+TEST(Stats, WilsonIntervalEdges) {
+  const auto all = wilson_interval(10, 10);
+  EXPECT_GT(all.lo, 0.6);
+  EXPECT_DOUBLE_EQ(all.hi, 1.0);
+  const auto none = wilson_interval(0, 10);
+  EXPECT_DOUBLE_EQ(none.lo, 0.0);
+  EXPECT_LT(none.hi, 0.4);
+  const auto empty = wilson_interval(0, 0);
+  EXPECT_DOUBLE_EQ(empty.lo, 0.0);
+  EXPECT_DOUBLE_EQ(empty.hi, 1.0);
+}
+
+TEST(Stats, WilsonIntervalNarrowsWithN) {
+  const auto small = wilson_interval(8, 10);
+  const auto large = wilson_interval(800, 1000);
+  EXPECT_LT(large.hi - large.lo, small.hi - small.lo);
+}
+
+TEST(Stats, PearsonPerfectCorrelation) {
+  const std::vector<double> x{1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> y{2.0, 4.0, 6.0, 8.0};
+  EXPECT_NEAR(pearson(x, y), 1.0, 1e-12);
+  std::vector<double> neg(y.rbegin(), y.rend());
+  EXPECT_NEAR(pearson(x, neg), -1.0, 1e-12);
+}
+
+TEST(Stats, PearsonDegenerateCases) {
+  const std::vector<double> x{1.0, 2.0, 3.0};
+  const std::vector<double> flat{5.0, 5.0, 5.0};
+  EXPECT_DOUBLE_EQ(pearson(x, flat), 0.0);
+  const std::vector<double> shorter{1.0, 2.0};
+  EXPECT_DOUBLE_EQ(pearson(x, shorter), 0.0);
+}
+
+}  // namespace
+}  // namespace multihit::stats

@@ -1,0 +1,64 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+namespace multihit {
+namespace {
+
+TEST(Table, RendersAlignedAscii) {
+  Table table({"name", "value"});
+  table.add_row({std::string("alpha"), 42LL});
+  table.add_row({std::string("b"), 7LL});
+  std::ostringstream out;
+  table.print(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("| name  | value |"), std::string::npos);
+  EXPECT_NE(text.find("| alpha | 42    |"), std::string::npos);
+  EXPECT_NE(text.find("+-------+-------+"), std::string::npos);
+}
+
+TEST(Table, DoublePrecisionConfigurable) {
+  Table table({"x"});
+  table.set_precision(2);
+  table.add_row({3.14159});
+  std::ostringstream out;
+  table.print(out);
+  EXPECT_NE(out.str().find("3.14"), std::string::npos);
+  EXPECT_EQ(out.str().find("3.142"), std::string::npos);
+}
+
+TEST(Table, RowArityChecked) {
+  Table table({"a", "b"});
+  EXPECT_THROW(table.add_row({1LL}), std::invalid_argument);
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(Table, CsvEscapesSpecialCharacters) {
+  Table table({"key", "text"});
+  table.add_row({std::string("k1"), std::string("hello, \"world\"")});
+  std::ostringstream out;
+  table.print_csv(out);
+  EXPECT_NE(out.str().find("\"hello, \"\"world\"\"\""), std::string::npos);
+}
+
+TEST(Table, CsvRoundNumbers) {
+  Table table({"n", "v"});
+  table.add_row({1LL, 2.5});
+  std::ostringstream out;
+  table.print_csv(out);
+  EXPECT_EQ(out.str(), "n,v\n1,2.5000\n");
+}
+
+TEST(Table, RowCount) {
+  Table table({"a"});
+  EXPECT_EQ(table.rows(), 0u);
+  table.add_row({1LL});
+  table.add_row({2LL});
+  EXPECT_EQ(table.rows(), 2u);
+}
+
+}  // namespace
+}  // namespace multihit
