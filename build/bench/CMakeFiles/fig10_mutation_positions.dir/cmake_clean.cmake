@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_mutation_positions.dir/fig10_mutation_positions.cpp.o"
+  "CMakeFiles/fig10_mutation_positions.dir/fig10_mutation_positions.cpp.o.d"
+  "fig10_mutation_positions"
+  "fig10_mutation_positions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_mutation_positions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_thread_workload.dir/fig2_thread_workload.cpp.o"
+  "CMakeFiles/fig2_thread_workload.dir/fig2_thread_workload.cpp.o.d"
+  "fig2_thread_workload"
+  "fig2_thread_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_thread_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

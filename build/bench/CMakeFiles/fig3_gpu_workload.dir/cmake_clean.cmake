@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_gpu_workload.dir/fig3_gpu_workload.cpp.o"
+  "CMakeFiles/fig3_gpu_workload.dir/fig3_gpu_workload.cpp.o.d"
+  "fig3_gpu_workload"
+  "fig3_gpu_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_gpu_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

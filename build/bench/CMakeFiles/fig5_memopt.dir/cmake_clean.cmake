@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_memopt.dir/fig5_memopt.cpp.o"
+  "CMakeFiles/fig5_memopt.dir/fig5_memopt.cpp.o.d"
+  "fig5_memopt"
+  "fig5_memopt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_memopt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_util_3x1.dir/fig7_util_3x1.cpp.o"
+  "CMakeFiles/fig7_util_3x1.dir/fig7_util_3x1.cpp.o.d"
+  "fig7_util_3x1"
+  "fig7_util_3x1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_util_3x1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_classification.dir/fig9_classification.cpp.o"
+  "CMakeFiles/fig9_classification.dir/fig9_classification.cpp.o.d"
+  "fig9_classification"
+  "fig9_classification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_classification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_divergence.dir/tab_divergence.cpp.o"
+  "CMakeFiles/tab_divergence.dir/tab_divergence.cpp.o.d"
+  "tab_divergence"
+  "tab_divergence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_divergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_ed_vs_ea.dir/tab_ed_vs_ea.cpp.o"
+  "CMakeFiles/tab_ed_vs_ea.dir/tab_ed_vs_ea.cpp.o.d"
+  "tab_ed_vs_ea"
+  "tab_ed_vs_ea.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_ed_vs_ea.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for tab_ed_vs_ea.
+# This may be replaced when dependencies are built.

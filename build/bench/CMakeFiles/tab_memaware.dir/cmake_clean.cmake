@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_memaware.dir/tab_memaware.cpp.o"
+  "CMakeFiles/tab_memaware.dir/tab_memaware.cpp.o.d"
+  "tab_memaware"
+  "tab_memaware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_memaware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

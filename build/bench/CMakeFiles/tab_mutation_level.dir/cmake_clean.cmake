@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_mutation_level.dir/tab_mutation_level.cpp.o"
+  "CMakeFiles/tab_mutation_level.dir/tab_mutation_level.cpp.o.d"
+  "tab_mutation_level"
+  "tab_mutation_level.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_mutation_level.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

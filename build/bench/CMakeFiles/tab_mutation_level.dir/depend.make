@@ -1,0 +1,2 @@
+# Empty dependencies file for tab_mutation_level.
+# This may be replaced when dependencies are built.

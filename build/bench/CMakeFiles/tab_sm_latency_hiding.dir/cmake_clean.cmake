@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_sm_latency_hiding.dir/tab_sm_latency_hiding.cpp.o"
+  "CMakeFiles/tab_sm_latency_hiding.dir/tab_sm_latency_hiding.cpp.o.d"
+  "tab_sm_latency_hiding"
+  "tab_sm_latency_hiding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_sm_latency_hiding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for tab_sm_latency_hiding.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/brca_scaleout.dir/brca_scaleout.cpp.o"
+  "CMakeFiles/brca_scaleout.dir/brca_scaleout.cpp.o.d"
+  "brca_scaleout"
+  "brca_scaleout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/brca_scaleout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for brca_scaleout.
+# This may be replaced when dependencies are built.

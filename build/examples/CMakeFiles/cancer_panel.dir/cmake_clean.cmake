@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cancer_panel.dir/cancer_panel.cpp.o"
+  "CMakeFiles/cancer_panel.dir/cancer_panel.cpp.o.d"
+  "cancer_panel"
+  "cancer_panel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cancer_panel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

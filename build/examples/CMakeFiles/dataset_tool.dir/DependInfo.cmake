@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/dataset_tool.cpp" "examples/CMakeFiles/dataset_tool.dir/dataset_tool.cpp.o" "gcc" "examples/CMakeFiles/dataset_tool.dir/dataset_tool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/multihit_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/combinat/CMakeFiles/multihit_combinat.dir/DependInfo.cmake"
+  "/root/repo/build/src/bitmat/CMakeFiles/multihit_bitmat.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/multihit_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/multihit_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/multihit_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/classify/CMakeFiles/multihit_classify.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/multihit_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpisim/CMakeFiles/multihit_mpisim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/multihit_cluster.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

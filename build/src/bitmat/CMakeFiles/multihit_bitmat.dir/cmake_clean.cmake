@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multihit_bitmat.dir/bitmatrix.cpp.o"
+  "CMakeFiles/multihit_bitmat.dir/bitmatrix.cpp.o.d"
+  "CMakeFiles/multihit_bitmat.dir/bitops.cpp.o"
+  "CMakeFiles/multihit_bitmat.dir/bitops.cpp.o.d"
+  "libmultihit_bitmat.a"
+  "libmultihit_bitmat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multihit_bitmat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

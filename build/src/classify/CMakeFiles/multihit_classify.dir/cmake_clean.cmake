@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multihit_classify.dir/classifier.cpp.o"
+  "CMakeFiles/multihit_classify.dir/classifier.cpp.o.d"
+  "libmultihit_classify.a"
+  "libmultihit_classify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multihit_classify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multihit_cluster.dir/distributed.cpp.o"
+  "CMakeFiles/multihit_cluster.dir/distributed.cpp.o.d"
+  "CMakeFiles/multihit_cluster.dir/model.cpp.o"
+  "CMakeFiles/multihit_cluster.dir/model.cpp.o.d"
+  "CMakeFiles/multihit_cluster.dir/scaling.cpp.o"
+  "CMakeFiles/multihit_cluster.dir/scaling.cpp.o.d"
+  "CMakeFiles/multihit_cluster.dir/summit.cpp.o"
+  "CMakeFiles/multihit_cluster.dir/summit.cpp.o.d"
+  "libmultihit_cluster.a"
+  "libmultihit_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multihit_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

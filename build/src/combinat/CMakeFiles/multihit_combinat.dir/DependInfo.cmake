@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/combinat/binomial.cpp" "src/combinat/CMakeFiles/multihit_combinat.dir/binomial.cpp.o" "gcc" "src/combinat/CMakeFiles/multihit_combinat.dir/binomial.cpp.o.d"
+  "/root/repo/src/combinat/linearize.cpp" "src/combinat/CMakeFiles/multihit_combinat.dir/linearize.cpp.o" "gcc" "src/combinat/CMakeFiles/multihit_combinat.dir/linearize.cpp.o.d"
+  "/root/repo/src/combinat/unrank.cpp" "src/combinat/CMakeFiles/multihit_combinat.dir/unrank.cpp.o" "gcc" "src/combinat/CMakeFiles/multihit_combinat.dir/unrank.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/multihit_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

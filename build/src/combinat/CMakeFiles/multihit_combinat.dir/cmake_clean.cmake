@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multihit_combinat.dir/binomial.cpp.o"
+  "CMakeFiles/multihit_combinat.dir/binomial.cpp.o.d"
+  "CMakeFiles/multihit_combinat.dir/linearize.cpp.o"
+  "CMakeFiles/multihit_combinat.dir/linearize.cpp.o.d"
+  "CMakeFiles/multihit_combinat.dir/unrank.cpp.o"
+  "CMakeFiles/multihit_combinat.dir/unrank.cpp.o.d"
+  "libmultihit_combinat.a"
+  "libmultihit_combinat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multihit_combinat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

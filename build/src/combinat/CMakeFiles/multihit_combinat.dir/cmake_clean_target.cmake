@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmultihit_combinat.a"
+)

@@ -1,0 +1,2 @@
+# Empty dependencies file for multihit_combinat.
+# This may be replaced when dependencies are built.

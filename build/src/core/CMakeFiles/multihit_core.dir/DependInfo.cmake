@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/checkpoint.cpp" "src/core/CMakeFiles/multihit_core.dir/checkpoint.cpp.o" "gcc" "src/core/CMakeFiles/multihit_core.dir/checkpoint.cpp.o.d"
+  "/root/repo/src/core/engine.cpp" "src/core/CMakeFiles/multihit_core.dir/engine.cpp.o" "gcc" "src/core/CMakeFiles/multihit_core.dir/engine.cpp.o.d"
+  "/root/repo/src/core/schemes.cpp" "src/core/CMakeFiles/multihit_core.dir/schemes.cpp.o" "gcc" "src/core/CMakeFiles/multihit_core.dir/schemes.cpp.o.d"
+  "/root/repo/src/core/schemes25.cpp" "src/core/CMakeFiles/multihit_core.dir/schemes25.cpp.o" "gcc" "src/core/CMakeFiles/multihit_core.dir/schemes25.cpp.o.d"
+  "/root/repo/src/core/serial.cpp" "src/core/CMakeFiles/multihit_core.dir/serial.cpp.o" "gcc" "src/core/CMakeFiles/multihit_core.dir/serial.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/multihit_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/bitmat/CMakeFiles/multihit_bitmat.dir/DependInfo.cmake"
+  "/root/repo/build/src/combinat/CMakeFiles/multihit_combinat.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

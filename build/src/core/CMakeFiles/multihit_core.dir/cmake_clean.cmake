@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multihit_core.dir/checkpoint.cpp.o"
+  "CMakeFiles/multihit_core.dir/checkpoint.cpp.o.d"
+  "CMakeFiles/multihit_core.dir/engine.cpp.o"
+  "CMakeFiles/multihit_core.dir/engine.cpp.o.d"
+  "CMakeFiles/multihit_core.dir/schemes.cpp.o"
+  "CMakeFiles/multihit_core.dir/schemes.cpp.o.d"
+  "CMakeFiles/multihit_core.dir/schemes25.cpp.o"
+  "CMakeFiles/multihit_core.dir/schemes25.cpp.o.d"
+  "CMakeFiles/multihit_core.dir/serial.cpp.o"
+  "CMakeFiles/multihit_core.dir/serial.cpp.o.d"
+  "libmultihit_core.a"
+  "libmultihit_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multihit_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

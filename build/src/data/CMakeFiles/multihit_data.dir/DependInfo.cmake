@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/dataset.cpp" "src/data/CMakeFiles/multihit_data.dir/dataset.cpp.o" "gcc" "src/data/CMakeFiles/multihit_data.dir/dataset.cpp.o.d"
+  "/root/repo/src/data/generator.cpp" "src/data/CMakeFiles/multihit_data.dir/generator.cpp.o" "gcc" "src/data/CMakeFiles/multihit_data.dir/generator.cpp.o.d"
+  "/root/repo/src/data/io.cpp" "src/data/CMakeFiles/multihit_data.dir/io.cpp.o" "gcc" "src/data/CMakeFiles/multihit_data.dir/io.cpp.o.d"
+  "/root/repo/src/data/maf.cpp" "src/data/CMakeFiles/multihit_data.dir/maf.cpp.o" "gcc" "src/data/CMakeFiles/multihit_data.dir/maf.cpp.o.d"
+  "/root/repo/src/data/maf_io.cpp" "src/data/CMakeFiles/multihit_data.dir/maf_io.cpp.o" "gcc" "src/data/CMakeFiles/multihit_data.dir/maf_io.cpp.o.d"
+  "/root/repo/src/data/mutation_level.cpp" "src/data/CMakeFiles/multihit_data.dir/mutation_level.cpp.o" "gcc" "src/data/CMakeFiles/multihit_data.dir/mutation_level.cpp.o.d"
+  "/root/repo/src/data/registry.cpp" "src/data/CMakeFiles/multihit_data.dir/registry.cpp.o" "gcc" "src/data/CMakeFiles/multihit_data.dir/registry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/multihit_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/bitmat/CMakeFiles/multihit_bitmat.dir/DependInfo.cmake"
+  "/root/repo/build/src/combinat/CMakeFiles/multihit_combinat.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multihit_data.dir/dataset.cpp.o"
+  "CMakeFiles/multihit_data.dir/dataset.cpp.o.d"
+  "CMakeFiles/multihit_data.dir/generator.cpp.o"
+  "CMakeFiles/multihit_data.dir/generator.cpp.o.d"
+  "CMakeFiles/multihit_data.dir/io.cpp.o"
+  "CMakeFiles/multihit_data.dir/io.cpp.o.d"
+  "CMakeFiles/multihit_data.dir/maf.cpp.o"
+  "CMakeFiles/multihit_data.dir/maf.cpp.o.d"
+  "CMakeFiles/multihit_data.dir/maf_io.cpp.o"
+  "CMakeFiles/multihit_data.dir/maf_io.cpp.o.d"
+  "CMakeFiles/multihit_data.dir/mutation_level.cpp.o"
+  "CMakeFiles/multihit_data.dir/mutation_level.cpp.o.d"
+  "CMakeFiles/multihit_data.dir/registry.cpp.o"
+  "CMakeFiles/multihit_data.dir/registry.cpp.o.d"
+  "libmultihit_data.a"
+  "libmultihit_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multihit_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gpusim/analytic.cpp" "src/gpusim/CMakeFiles/multihit_gpusim.dir/analytic.cpp.o" "gcc" "src/gpusim/CMakeFiles/multihit_gpusim.dir/analytic.cpp.o.d"
+  "/root/repo/src/gpusim/device.cpp" "src/gpusim/CMakeFiles/multihit_gpusim.dir/device.cpp.o" "gcc" "src/gpusim/CMakeFiles/multihit_gpusim.dir/device.cpp.o.d"
+  "/root/repo/src/gpusim/perfmodel.cpp" "src/gpusim/CMakeFiles/multihit_gpusim.dir/perfmodel.cpp.o" "gcc" "src/gpusim/CMakeFiles/multihit_gpusim.dir/perfmodel.cpp.o.d"
+  "/root/repo/src/gpusim/smsim.cpp" "src/gpusim/CMakeFiles/multihit_gpusim.dir/smsim.cpp.o" "gcc" "src/gpusim/CMakeFiles/multihit_gpusim.dir/smsim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/multihit_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/combinat/CMakeFiles/multihit_combinat.dir/DependInfo.cmake"
+  "/root/repo/build/src/bitmat/CMakeFiles/multihit_bitmat.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/multihit_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/multihit_sched.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

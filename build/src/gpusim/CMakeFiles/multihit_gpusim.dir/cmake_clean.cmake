@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multihit_gpusim.dir/analytic.cpp.o"
+  "CMakeFiles/multihit_gpusim.dir/analytic.cpp.o.d"
+  "CMakeFiles/multihit_gpusim.dir/device.cpp.o"
+  "CMakeFiles/multihit_gpusim.dir/device.cpp.o.d"
+  "CMakeFiles/multihit_gpusim.dir/perfmodel.cpp.o"
+  "CMakeFiles/multihit_gpusim.dir/perfmodel.cpp.o.d"
+  "CMakeFiles/multihit_gpusim.dir/smsim.cpp.o"
+  "CMakeFiles/multihit_gpusim.dir/smsim.cpp.o.d"
+  "libmultihit_gpusim.a"
+  "libmultihit_gpusim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multihit_gpusim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multihit_mpisim.dir/comm.cpp.o"
+  "CMakeFiles/multihit_mpisim.dir/comm.cpp.o.d"
+  "libmultihit_mpisim.a"
+  "libmultihit_mpisim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multihit_mpisim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

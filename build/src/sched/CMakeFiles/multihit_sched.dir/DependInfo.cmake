@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/divergence.cpp" "src/sched/CMakeFiles/multihit_sched.dir/divergence.cpp.o" "gcc" "src/sched/CMakeFiles/multihit_sched.dir/divergence.cpp.o.d"
+  "/root/repo/src/sched/memaware.cpp" "src/sched/CMakeFiles/multihit_sched.dir/memaware.cpp.o" "gcc" "src/sched/CMakeFiles/multihit_sched.dir/memaware.cpp.o.d"
+  "/root/repo/src/sched/schedule.cpp" "src/sched/CMakeFiles/multihit_sched.dir/schedule.cpp.o" "gcc" "src/sched/CMakeFiles/multihit_sched.dir/schedule.cpp.o.d"
+  "/root/repo/src/sched/workload.cpp" "src/sched/CMakeFiles/multihit_sched.dir/workload.cpp.o" "gcc" "src/sched/CMakeFiles/multihit_sched.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/multihit_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/combinat/CMakeFiles/multihit_combinat.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/multihit_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/bitmat/CMakeFiles/multihit_bitmat.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

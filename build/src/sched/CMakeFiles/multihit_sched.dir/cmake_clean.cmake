@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multihit_sched.dir/divergence.cpp.o"
+  "CMakeFiles/multihit_sched.dir/divergence.cpp.o.d"
+  "CMakeFiles/multihit_sched.dir/memaware.cpp.o"
+  "CMakeFiles/multihit_sched.dir/memaware.cpp.o.d"
+  "CMakeFiles/multihit_sched.dir/schedule.cpp.o"
+  "CMakeFiles/multihit_sched.dir/schedule.cpp.o.d"
+  "CMakeFiles/multihit_sched.dir/workload.cpp.o"
+  "CMakeFiles/multihit_sched.dir/workload.cpp.o.d"
+  "libmultihit_sched.a"
+  "libmultihit_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multihit_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multihit_util.dir/log.cpp.o"
+  "CMakeFiles/multihit_util.dir/log.cpp.o.d"
+  "CMakeFiles/multihit_util.dir/rng.cpp.o"
+  "CMakeFiles/multihit_util.dir/rng.cpp.o.d"
+  "CMakeFiles/multihit_util.dir/stats.cpp.o"
+  "CMakeFiles/multihit_util.dir/stats.cpp.o.d"
+  "CMakeFiles/multihit_util.dir/table.cpp.o"
+  "CMakeFiles/multihit_util.dir/table.cpp.o.d"
+  "libmultihit_util.a"
+  "libmultihit_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multihit_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmultihit_util.a"
+)

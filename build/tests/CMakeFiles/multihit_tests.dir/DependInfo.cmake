@@ -1,0 +1,60 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_analytic.cpp" "tests/CMakeFiles/multihit_tests.dir/test_analytic.cpp.o" "gcc" "tests/CMakeFiles/multihit_tests.dir/test_analytic.cpp.o.d"
+  "/root/repo/tests/test_binomial.cpp" "tests/CMakeFiles/multihit_tests.dir/test_binomial.cpp.o" "gcc" "tests/CMakeFiles/multihit_tests.dir/test_binomial.cpp.o.d"
+  "/root/repo/tests/test_bitmatrix.cpp" "tests/CMakeFiles/multihit_tests.dir/test_bitmatrix.cpp.o" "gcc" "tests/CMakeFiles/multihit_tests.dir/test_bitmatrix.cpp.o.d"
+  "/root/repo/tests/test_bitops.cpp" "tests/CMakeFiles/multihit_tests.dir/test_bitops.cpp.o" "gcc" "tests/CMakeFiles/multihit_tests.dir/test_bitops.cpp.o.d"
+  "/root/repo/tests/test_calibration.cpp" "tests/CMakeFiles/multihit_tests.dir/test_calibration.cpp.o" "gcc" "tests/CMakeFiles/multihit_tests.dir/test_calibration.cpp.o.d"
+  "/root/repo/tests/test_checkpoint.cpp" "tests/CMakeFiles/multihit_tests.dir/test_checkpoint.cpp.o" "gcc" "tests/CMakeFiles/multihit_tests.dir/test_checkpoint.cpp.o.d"
+  "/root/repo/tests/test_classifier.cpp" "tests/CMakeFiles/multihit_tests.dir/test_classifier.cpp.o" "gcc" "tests/CMakeFiles/multihit_tests.dir/test_classifier.cpp.o.d"
+  "/root/repo/tests/test_cluster.cpp" "tests/CMakeFiles/multihit_tests.dir/test_cluster.cpp.o" "gcc" "tests/CMakeFiles/multihit_tests.dir/test_cluster.cpp.o.d"
+  "/root/repo/tests/test_comm.cpp" "tests/CMakeFiles/multihit_tests.dir/test_comm.cpp.o" "gcc" "tests/CMakeFiles/multihit_tests.dir/test_comm.cpp.o.d"
+  "/root/repo/tests/test_device.cpp" "tests/CMakeFiles/multihit_tests.dir/test_device.cpp.o" "gcc" "tests/CMakeFiles/multihit_tests.dir/test_device.cpp.o.d"
+  "/root/repo/tests/test_divergence.cpp" "tests/CMakeFiles/multihit_tests.dir/test_divergence.cpp.o" "gcc" "tests/CMakeFiles/multihit_tests.dir/test_divergence.cpp.o.d"
+  "/root/repo/tests/test_engine.cpp" "tests/CMakeFiles/multihit_tests.dir/test_engine.cpp.o" "gcc" "tests/CMakeFiles/multihit_tests.dir/test_engine.cpp.o.d"
+  "/root/repo/tests/test_generator.cpp" "tests/CMakeFiles/multihit_tests.dir/test_generator.cpp.o" "gcc" "tests/CMakeFiles/multihit_tests.dir/test_generator.cpp.o.d"
+  "/root/repo/tests/test_io.cpp" "tests/CMakeFiles/multihit_tests.dir/test_io.cpp.o" "gcc" "tests/CMakeFiles/multihit_tests.dir/test_io.cpp.o.d"
+  "/root/repo/tests/test_linearize.cpp" "tests/CMakeFiles/multihit_tests.dir/test_linearize.cpp.o" "gcc" "tests/CMakeFiles/multihit_tests.dir/test_linearize.cpp.o.d"
+  "/root/repo/tests/test_log.cpp" "tests/CMakeFiles/multihit_tests.dir/test_log.cpp.o" "gcc" "tests/CMakeFiles/multihit_tests.dir/test_log.cpp.o.d"
+  "/root/repo/tests/test_maf.cpp" "tests/CMakeFiles/multihit_tests.dir/test_maf.cpp.o" "gcc" "tests/CMakeFiles/multihit_tests.dir/test_maf.cpp.o.d"
+  "/root/repo/tests/test_maf_io.cpp" "tests/CMakeFiles/multihit_tests.dir/test_maf_io.cpp.o" "gcc" "tests/CMakeFiles/multihit_tests.dir/test_maf_io.cpp.o.d"
+  "/root/repo/tests/test_memaware.cpp" "tests/CMakeFiles/multihit_tests.dir/test_memaware.cpp.o" "gcc" "tests/CMakeFiles/multihit_tests.dir/test_memaware.cpp.o.d"
+  "/root/repo/tests/test_mutation_level.cpp" "tests/CMakeFiles/multihit_tests.dir/test_mutation_level.cpp.o" "gcc" "tests/CMakeFiles/multihit_tests.dir/test_mutation_level.cpp.o.d"
+  "/root/repo/tests/test_perfmodel.cpp" "tests/CMakeFiles/multihit_tests.dir/test_perfmodel.cpp.o" "gcc" "tests/CMakeFiles/multihit_tests.dir/test_perfmodel.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/multihit_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/multihit_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_registry.cpp" "tests/CMakeFiles/multihit_tests.dir/test_registry.cpp.o" "gcc" "tests/CMakeFiles/multihit_tests.dir/test_registry.cpp.o.d"
+  "/root/repo/tests/test_rng.cpp" "tests/CMakeFiles/multihit_tests.dir/test_rng.cpp.o" "gcc" "tests/CMakeFiles/multihit_tests.dir/test_rng.cpp.o.d"
+  "/root/repo/tests/test_schedule.cpp" "tests/CMakeFiles/multihit_tests.dir/test_schedule.cpp.o" "gcc" "tests/CMakeFiles/multihit_tests.dir/test_schedule.cpp.o.d"
+  "/root/repo/tests/test_schemes.cpp" "tests/CMakeFiles/multihit_tests.dir/test_schemes.cpp.o" "gcc" "tests/CMakeFiles/multihit_tests.dir/test_schemes.cpp.o.d"
+  "/root/repo/tests/test_schemes25.cpp" "tests/CMakeFiles/multihit_tests.dir/test_schemes25.cpp.o" "gcc" "tests/CMakeFiles/multihit_tests.dir/test_schemes25.cpp.o.d"
+  "/root/repo/tests/test_smsim.cpp" "tests/CMakeFiles/multihit_tests.dir/test_smsim.cpp.o" "gcc" "tests/CMakeFiles/multihit_tests.dir/test_smsim.cpp.o.d"
+  "/root/repo/tests/test_stats.cpp" "tests/CMakeFiles/multihit_tests.dir/test_stats.cpp.o" "gcc" "tests/CMakeFiles/multihit_tests.dir/test_stats.cpp.o.d"
+  "/root/repo/tests/test_table.cpp" "tests/CMakeFiles/multihit_tests.dir/test_table.cpp.o" "gcc" "tests/CMakeFiles/multihit_tests.dir/test_table.cpp.o.d"
+  "/root/repo/tests/test_unrank.cpp" "tests/CMakeFiles/multihit_tests.dir/test_unrank.cpp.o" "gcc" "tests/CMakeFiles/multihit_tests.dir/test_unrank.cpp.o.d"
+  "/root/repo/tests/test_workload.cpp" "tests/CMakeFiles/multihit_tests.dir/test_workload.cpp.o" "gcc" "tests/CMakeFiles/multihit_tests.dir/test_workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/multihit_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/combinat/CMakeFiles/multihit_combinat.dir/DependInfo.cmake"
+  "/root/repo/build/src/bitmat/CMakeFiles/multihit_bitmat.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/multihit_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/multihit_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/multihit_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/classify/CMakeFiles/multihit_classify.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/multihit_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpisim/CMakeFiles/multihit_mpisim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/multihit_cluster.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
