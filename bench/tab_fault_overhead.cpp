@@ -1,0 +1,136 @@
+// Fault-injection overhead table (no paper analogue — operational extension).
+//
+// Two panels:
+//   1. Functional: a small dataset run on a simulated 8-node fleet under a
+//      ladder of fault plans. Every plan must keep the greedy selections
+//      bit-identical to the fault-free serial reference (the recovery
+//      invariant); the table reports what each fault class costs in modeled
+//      wall-clock.
+//   2. Analytic: the paper-scale BRCA run at 1000 nodes under a per-node
+//      MTBF sweep — what §IV-A's 2-hour-allocation reality would add to the
+//      paper's reported times once failures and periodic checkpoints are
+//      accounted for.
+
+#include <iostream>
+#include <string>
+
+#include "cluster/distributed.hpp"
+#include "cluster/model.hpp"
+#include "core/engine.hpp"
+#include "data/generator.hpp"
+#include "util/log.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace multihit;
+  log::set_level(log::Level::kWarn);  // keep per-event INFO records off stderr
+  std::cout << "Fault-injection and recovery overhead (fault layer, src/fault).\n";
+
+  SyntheticSpec spec;
+  spec.genes = 40;
+  spec.tumor_samples = 80;
+  spec.normal_samples = 60;
+  spec.hits = 4;
+  spec.num_combinations = 4;
+  spec.background_rate = 0.015;
+  spec.seed = 777;
+  const Dataset data = generate_dataset(spec);
+
+  EngineConfig engine;
+  engine.hits = 4;
+  const GreedyResult serial =
+      run_greedy(data.tumor, data.normal, engine, make_serial_evaluator(4));
+
+  SummitConfig summit;
+  summit.nodes = 8;
+  const ClusterRunner runner(summit);
+
+  const auto crash = [](std::uint32_t rank, std::uint32_t iter, double frac) {
+    return FaultEvent{FaultKind::kRankCrash, rank, iter, frac, 1};
+  };
+  const auto straggle = [](std::uint32_t rank, std::uint32_t iter, double factor) {
+    return FaultEvent{FaultKind::kStraggler, rank, iter, factor, 2};
+  };
+
+  struct Case {
+    std::string name;
+    FaultPlan plan;
+    std::uint32_t checkpoint_every = 0;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"fault-free", {}, 0});
+  cases.push_back({"1 crash (r1@i0, 50%)", {{crash(1, 0, 0.5)}}, 0});
+  cases.push_back({"2 crashes (r1@i0, r5@i1)", {{crash(1, 0, 0.5), crash(5, 1, 0.9)}}, 0});
+  cases.push_back({"straggler x2 (r2, 2 iters)", {{straggle(2, 0, 2.0)}}, 0});
+  cases.push_back({"straggler x8 (r2, 2 iters)", {{straggle(2, 0, 8.0)}}, 0});
+  cases.push_back(
+      {"drops (r3: 4 lost sends@i0)", {{{FaultKind::kMessageDrop, 3, 0, 0.0, 4}}}, 0});
+  cases.push_back({"mixed (crash+straggler+drop)",
+                   {{crash(4, 0, 0.3), straggle(1, 0, 2.5),
+                     {FaultKind::kMessageDrop, 2, 1, 0.0, 3}}},
+                   0});
+  cases.push_back({"abort@i2 + checkpoint every iter",
+                   {{{FaultKind::kJobAbort, 0, 2, 0.0, 1}}},
+                   1});
+
+  print_section(std::cout,
+                "Functional: 8 nodes / 48 GPUs, G=40 4-hit, vs fault-free serial");
+  Table table({"fault plan", "total s", "overhead %", "recovery s", "ckpts",
+               "ranks lost", "identical"});
+  table.set_precision(3);
+
+  double baseline = 0.0;
+  bool all_identical = true;
+  for (const Case& c : cases) {
+    DistributedOptions options;
+    options.faults = c.plan;
+    options.checkpoint_every = c.checkpoint_every;
+    const ClusterRunResult result = runner.run(data, options);
+    if (baseline == 0.0) baseline = result.total_time;
+
+    bool identical = result.greedy.iterations.size() == serial.iterations.size() &&
+                     result.greedy.uncovered_tumor == serial.uncovered_tumor;
+    for (std::size_t i = 0; identical && i < serial.iterations.size(); ++i) {
+      identical = result.greedy.iterations[i].genes == serial.iterations[i].genes;
+    }
+    all_identical = all_identical && identical;
+
+    table.add_row({c.name, result.total_time,
+                   100.0 * (result.total_time - baseline) / baseline,
+                   result.recovery_time, static_cast<long long>(result.checkpoints_taken),
+                   static_cast<long long>(result.ranks_lost),
+                   std::string(identical ? "yes" : "NO")});
+  }
+  table.print(std::cout);
+  std::cout << (all_identical
+                    ? "Invariant holds: every plan reproduced the serial selections.\n"
+                    : "INVARIANT VIOLATED: some plan changed the selections!\n")
+            << '\n';
+
+  print_section(std::cout,
+                "Analytic: BRCA @ 1000 nodes, per-node MTBF sweep (checkpoint every 5 min)");
+  SummitConfig big;
+  big.nodes = 1000;
+  Table sweep({"per-node MTBF (h)", "expected failures", "fault overhead s",
+               "checkpoint overhead s", "total s", "vs fault-free %"});
+  sweep.set_precision(4);
+
+  ModelInputs inputs;  // BRCA defaults
+  const double fault_free = model_cluster_run(big, inputs).total_time;
+  for (const double mtbf : {0.0, 50000.0, 10000.0, 2000.0, 500.0, 100.0}) {
+    ModelInputs faulty = inputs;
+    faulty.rank_mtbf_hours = mtbf;
+    faulty.checkpoint_every_seconds = mtbf > 0.0 ? 300.0 : 0.0;
+    const ModeledRun run = model_cluster_run(big, faulty);
+    sweep.add_row({mtbf > 0.0 ? std::to_string(static_cast<long long>(mtbf)) : "off",
+                   run.expected_failures, run.fault_overhead, run.checkpoint_overhead,
+                   run.total_time, 100.0 * (run.total_time - fault_free) / fault_free});
+  }
+  sweep.print(std::cout);
+  std::cout << "Shape check: recovery is nearly free at this scale. The resumable state\n"
+               "(selections + spliced matrix) is a few MB, so snapshots cost milliseconds,\n"
+               "and each failure costs ~a detection window plus 1/1000th of an iteration —\n"
+               "the same 20-byte-candidate frugality that hides communication under\n"
+               "compute (Fig. 8) also makes fault tolerance cheap insurance.\n";
+  return all_identical ? 0 : 1;
+}

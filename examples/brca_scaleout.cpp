@@ -1,6 +1,7 @@
 // BRCA scale-out: the paper's headline experiment end-to-end.
 //
-//   $ ./examples/brca_scaleout [nodes]
+//   $ ./examples/brca_scaleout [nodes] [--crash R@I[:F]] [--straggle R@I:F]
+//                              [--drop R@I:N] [--checkpoint N]
 //
 // Part 1 runs the *functional* distributed pipeline (equi-area schedule ->
 // per-GPU maxF + parallelReduceMax -> node merge -> MPI reduce) on a
@@ -8,11 +9,22 @@
 // simulated Summit nodes (default 4), verifying it selects exactly the
 // serial engine's combinations.
 //
+// Fault flags inject failures into the run (repeatable): `--crash 1@0` kills
+// rank 1 mid-compute in iteration 0 (optional :F = fraction of its compute
+// finished before dying), `--straggle 2@1:4` slows rank 2 by 4x from
+// iteration 1, `--drop 3@0:2` loses two of rank 3's tree messages in
+// iteration 0, and `--checkpoint 2` snapshots every 2 iterations (enables
+// kJobAbort-style recovery accounting). Whatever is injected, the selected
+// combinations must remain IDENTICAL to the serial reference — faults only
+// stretch the modeled clock.
+//
 // Part 2 prices the same pipeline at full paper scale (G = 19411, 911 tumor
 // samples) on 100-1000 nodes with the analytic machine model — the Fig. 4(a)
 // strong-scaling curve.
 
+#include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <iostream>
 
 #include "cluster/distributed.hpp"
@@ -21,9 +33,49 @@
 #include "data/registry.hpp"
 #include "util/table.hpp"
 
+namespace {
+
+[[noreturn]] void usage() {
+  std::cerr << "usage: brca_scaleout [nodes] [--crash R@I[:F]] [--straggle R@I:F]\n"
+               "                     [--drop R@I:N] [--checkpoint N]\n";
+  std::exit(1);
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace multihit;
-  const std::uint32_t nodes = argc > 1 ? static_cast<std::uint32_t>(std::atoi(argv[1])) : 4;
+  std::uint32_t nodes = 4;
+  DistributedOptions options;  // 4-hit, 3x1, EA, both prefetches, splicing
+
+  for (int a = 1; a < argc; ++a) {
+    const std::string arg = argv[a];
+    const auto next = [&]() -> const char* {
+      if (a + 1 >= argc) usage();
+      return argv[++a];
+    };
+    unsigned rank = 0, iter = 0, count = 0;
+    double value = 0.0;
+    if (arg == "--crash") {
+      const char* s = next();
+      value = 0.5;
+      if (std::sscanf(s, "%u@%u:%lf", &rank, &iter, &value) < 2) usage();
+      options.faults.events.push_back(
+          {FaultKind::kRankCrash, rank, iter, value, 1});
+    } else if (arg == "--straggle") {
+      if (std::sscanf(next(), "%u@%u:%lf", &rank, &iter, &value) != 3) usage();
+      options.faults.events.push_back({FaultKind::kStraggler, rank, iter, value, 2});
+    } else if (arg == "--drop") {
+      if (std::sscanf(next(), "%u@%u:%u", &rank, &iter, &count) != 3) usage();
+      options.faults.events.push_back({FaultKind::kMessageDrop, rank, iter, 0.0, count});
+    } else if (arg == "--checkpoint") {
+      options.checkpoint_every = static_cast<std::uint32_t>(std::atoi(next()));
+    } else if (arg[0] != '-') {
+      nodes = static_cast<std::uint32_t>(std::atoi(arg.c_str()));
+    } else {
+      usage();
+    }
+  }
   if (nodes == 0 || nodes > 1024) {
     std::cerr << "nodes must be in [1, 1024]\n";
     return 1;
@@ -46,12 +98,20 @@ int main(int argc, char** argv) {
   std::cout << "Part 1 — functional distributed run: " << data.name << " (G="
             << data.genes() << "), " << nodes << " nodes (" << nodes * 6
             << " simulated V100s), 4-hit.\n";
+  if (!options.faults.empty()) {
+    std::cout << "  fault plan: " << describe(options.faults) << "\n";
+  }
 
-  DistributedOptions options;  // 4-hit, 3x1, EA, both prefetches, splicing
   SummitConfig config;
   config.nodes = nodes;
   const ClusterRunner runner(config);
-  const ClusterRunResult distributed = runner.run(data, options);
+  ClusterRunResult distributed;
+  try {
+    distributed = runner.run(data, options);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
 
   EngineConfig serial_config;
   serial_config.hits = 4;
@@ -65,6 +125,21 @@ int main(int argc, char** argv) {
             << "  modeled wall time: " << distributed.total_time << " s ("
             << distributed.iterations.size() << " iterations + schedule "
             << distributed.schedule_time << " s + job overhead)\n";
+  if (!distributed.fault_events.empty()) {
+    std::cout << "  faults fired: " << distributed.fault_events.size() << " ("
+              << distributed.ranks_lost << " rank(s) lost), recovery "
+              << distributed.recovery_time << " s";
+    if (distributed.checkpoints_taken > 0) {
+      std::cout << ", " << distributed.checkpoints_taken << " checkpoint(s) in "
+                << distributed.checkpoint_time << " s";
+    }
+    std::cout << "\n";
+    for (const FaultRecord& rec : distributed.fault_events) {
+      std::cout << "    " << fault_kind_name(rec.kind) << " rank " << rec.rank
+                << " @ iteration " << rec.iteration << " (t=" << rec.sim_time
+                << " s, cost " << rec.cost << " s)\n";
+    }
+  }
   if (!identical) return 1;
 
   std::cout << "\nPart 2 — paper-scale strong scaling (analytic model, BRCA G=19411):\n";

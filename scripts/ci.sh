@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Full local CI: build and run the test suite under every preset in
+# CMakePresets.json — the optimized build and the ASan+UBSan build. Any
+# sanitizer report aborts the run (-fno-sanitize-recover=all turns UBSan
+# findings into hard failures).
+#
+# Usage: scripts/ci.sh [jobs]   (default: nproc)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+jobs="${1:-$(nproc)}"
+
+for preset in default asan; do
+  echo "=== [$preset] configure ==="
+  cmake --preset "$preset"
+  echo "=== [$preset] build ==="
+  cmake --build --preset "$preset" -j "$jobs"
+  echo "=== [$preset] test ==="
+  ctest --preset "$preset" -j "$jobs"
+done
+
+echo "=== all presets green ==="

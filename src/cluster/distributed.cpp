@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <utility>
 
 #include "gpusim/device.hpp"
 #include "sched/memaware.hpp"
 #include "sched/workload.hpp"
+#include "util/log.hpp"
 
 namespace multihit {
 
@@ -43,6 +45,12 @@ DeviceRunResult run_device(const GpuDevice& device, const DistributedOptions& op
   }
 }
 
+Partition intersect(const Partition& a, const Partition& b) noexcept {
+  const u64 begin = std::max(a.begin, b.begin);
+  const u64 end = std::min(a.end, b.end);
+  return begin < end ? Partition{begin, end} : Partition{};
+}
+
 }  // namespace
 
 ClusterRunResult ClusterRunner::run(const Dataset& data,
@@ -50,81 +58,220 @@ ClusterRunResult ClusterRunner::run(const Dataset& data,
   if (options.hits < 2 || options.hits > 5) {
     throw std::invalid_argument("ClusterRunner supports hits in [2, 5]");
   }
+  options.faults.validate(config_.nodes);
 
   ClusterRunResult result;
-  const std::uint32_t units = config_.units();
+  const std::uint32_t gpn = config_.gpus_per_node;
+  const std::uint32_t total_units = config_.units();
   const GpuDevice device(config_.device);
 
-  // The workload model and schedule depend only on G, which never changes
-  // across iterations (BitSplicing removes samples, not genes) — built once,
-  // exactly as rank 0 does in the paper.
+  // The workload model depends only on G, which never changes across
+  // iterations (BitSplicing removes samples, not genes) — built once,
+  // exactly as rank 0 does in the paper. The *schedule* is rebuilt over the
+  // surviving GPUs after every rank failure.
   const WorkloadModel model = make_model(options, data.genes());
-  std::vector<Partition> schedule;
-  switch (options.scheduler) {
-    case SchedulerKind::kEquiDistance:
-      schedule = equidistance_schedule(model, units);
-      break;
-    case SchedulerKind::kEquiArea:
-      schedule = equiarea_schedule(model, units);
-      break;
-    case SchedulerKind::kMemoryAware:
-      schedule =
-          memaware_schedule(model, units, memory_cost_weights(options.hits, options.mem_opts));
-      break;
-  }
-  result.schedule_time =
+  const double schedule_build_time =
       static_cast<double>(model.levels().size()) * config_.schedule_seconds_per_level;
+  const auto build_schedule = [&](std::uint32_t units) {
+    switch (options.scheduler) {
+      case SchedulerKind::kEquiDistance:
+        return equidistance_schedule(model, units);
+      case SchedulerKind::kMemoryAware:
+        return memaware_schedule(model, units,
+                                 memory_cost_weights(options.hits, options.mem_opts));
+      case SchedulerKind::kEquiArea:
+      default:
+        return equiarea_schedule(model, units);
+    }
+  };
+  std::vector<Partition> schedule = build_schedule(total_units);
+  result.schedule_time = schedule_build_time;
 
-  // The Evaluator closure is one distributed iteration: steps 2-4 of the
-  // header comment. The engine supplies the greedy loop and BitSplicing.
+  // State threaded through the whole run: the communicator (clocks and
+  // liveness persist across iterations — a crashed rank stays dead), the
+  // injector, and checkpoint bookkeeping.
+  SimComm comm(config_.nodes, config_.comm);
+  FaultInjector injector(options.faults, config_.nodes);
+  std::uint32_t iter = 0;
+  double abort_time = 0.0;           // allocation restarts; outside the clocks
+  double last_checkpoint_mark = 0.0; // comm wall-clock at the last snapshot
+
+  // One distributed greedy iteration: compute -> reduce -> (recover) ->
+  // broadcast -> splice. The engine supplies the greedy loop and
+  // BitSplicing.
   const Evaluator evaluator = [&](const BitMatrix& tumor, const BitMatrix& normal,
                                   const FContext& ctx) -> EvalResult {
     IterationTelemetry telemetry;
-    telemetry.gpus.resize(units);
+    telemetry.gpus.resize(total_units);
     telemetry.rank_compute.assign(config_.nodes, 0.0);
     telemetry.rank_comm.assign(config_.nodes, 0.0);
 
-    SimComm comm(config_.nodes, config_.comm);
-    std::vector<EvalResult> rank_candidates(config_.nodes);
+    const double t_start = comm.finish_time();
+    std::vector<double> compute_at_start(config_.nodes), comm_at_start(config_.nodes);
+    for (std::uint32_t r = 0; r < config_.nodes; ++r) {
+      compute_at_start[r] = comm.compute_time(r);
+      comm_at_start[r] = comm.comm_time(r);
+    }
 
-    for (std::uint32_t node = 0; node < config_.nodes; ++node) {
+    // Whole-allocation loss: the rerun from the last checkpoint replays this
+    // exact state bit-identically (the determinism invariant), so the fault
+    // costs only the wall-clock since the snapshot plus a fresh job launch —
+    // no work is redone here.
+    if (injector.job_abort(iter)) {
+      const double penalty =
+          (t_start - last_checkpoint_mark) + config_.job_overhead() + schedule_build_time;
+      abort_time += penalty;
+      result.recovery_time += penalty;
+      injector.record({FaultKind::kJobAbort, 0, iter, t_start, penalty});
+    }
+
+    // Message-drop budget for this iteration, consumed in deterministic
+    // clock order by the collectives below.
+    std::vector<std::uint32_t> drop_budget(config_.nodes);
+    bool any_drops = false;
+    for (std::uint32_t r = 0; r < config_.nodes; ++r) {
+      drop_budget[r] = injector.drops(r, iter);
+      any_drops = any_drops || drop_budget[r] > 0;
+    }
+    if (any_drops) {
+      // A rank's whole drop budget hits its next tree message as repeated
+      // lost attempts (retransmissions can be lost too), so the full count
+      // is always charged — a reduce leaf only sends once per iteration.
+      comm.set_message_faults([&](std::uint32_t src, std::uint32_t, std::uint64_t) {
+        MessageFault fault;
+        if (drop_budget[src] > 0) {
+          fault.drops = drop_budget[src];
+          drop_budget[src] = 0;
+          injector.record({FaultKind::kMessageDrop, src, iter, comm.clock(src),
+                           fault.drops * config_.comm.retransmit_timeout});
+        }
+        return fault;
+      });
+    }
+
+    // --- compute phase over the current schedule (surviving nodes only).
+    // Units are schedule slots: node at position `pos` of the survivor list
+    // drives slots [pos*gpn, (pos+1)*gpn). Fault-free this equals the
+    // original absolute unit numbering.
+    const std::vector<std::uint32_t> active = comm.alive_ranks();
+    std::vector<EvalResult> rank_candidates(config_.nodes);
+    std::vector<Partition> lost;                       // λ ranges of this iteration's dead
+    std::vector<std::pair<std::uint32_t, double>> crashed;  // (rank, death time)
+    for (std::uint32_t pos = 0; pos < active.size(); ++pos) {
+      const std::uint32_t node = active[pos];
+      const double straggle = injector.straggle_factor(node, iter);
+      const double crash_frac = injector.crash_fraction(node, iter);
       EvalResult node_best;
       double node_time = 0.0;  // the node's GPUs run concurrently
-      for (std::uint32_t g = 0; g < config_.gpus_per_node; ++g) {
-        const std::uint32_t unit = node * config_.gpus_per_node + g;
+      for (std::uint32_t g = 0; g < gpn; ++g) {
+        const std::uint32_t unit = pos * gpn + g;
         const DeviceRunResult run =
             run_device(device, options, tumor, normal, ctx, schedule[unit]);
         GpuTiming timing = run.timing;
-        timing.time *= config_.jitter_factor(unit) * config_.noise_factor();
+        timing.time *= config_.jitter_factor(unit) * config_.noise_factor() * straggle;
         telemetry.gpus[unit] = timing;
         telemetry.candidate_bytes_total += run.candidate_bytes;
         telemetry.combinations += run.stats.combinations;
         node_best = merge_results(node_best, run.best);
         node_time = std::max(node_time, timing.time);
       }
-      rank_candidates[node] = node_best;
-      comm.compute(node, node_time);
+      if (crash_frac >= 0.0) {
+        // Dies mid-compute: the partial work is lost with it, and its λ
+        // ranges must be re-run on the survivors.
+        comm.fail(node, comm.clock(node) + crash_frac * node_time);
+        for (std::uint32_t g = 0; g < gpn; ++g) lost.push_back(schedule[pos * gpn + g]);
+        crashed.emplace_back(node, comm.clock(node));
+        ++result.ranks_lost;
+      } else {
+        if (straggle > 1.0) {
+          injector.record({FaultKind::kStraggler, node, iter, comm.clock(node),
+                           node_time * (1.0 - 1.0 / straggle)});
+        }
+        rank_candidates[node] = node_best;
+        comm.compute(node, node_time);
+      }
     }
 
-    // One 20-byte candidate per rank to rank 0, then the winner back out.
-    const EvalResult best =
-        comm.reduce(std::span<const EvalResult>(rank_candidates), 0, kCandidateBytes,
+    // One 20-byte candidate per surviving rank toward the lowest surviving
+    // rank; newly-dead ranks are detected here (survivors pay the window).
+    const std::uint32_t root = comm.lowest_alive();
+    EvalResult best =
+        comm.reduce(std::span<const EvalResult>(rank_candidates), root, kCandidateBytes,
                     [](const EvalResult& a, const EvalResult& b) { return merge_results(a, b); });
-    comm.broadcast(0, kCandidateBytes);
+
+    // --- recovery: re-partition over the survivors and re-run the lost λ
+    // ranges. The new equi-area schedule covers [0, total), so intersecting
+    // it with the lost ranges re-runs exactly the missing combinations;
+    // merge_results' associativity + commutativity (invalid = identity)
+    // makes the re-merged winner identical to the fault-free one.
+    if (!lost.empty()) {
+      const double t_recover = comm.finish_time();
+      const std::vector<std::uint32_t> survivors = comm.alive_ranks();
+      std::vector<Partition> next_schedule =
+          build_schedule(static_cast<std::uint32_t>(survivors.size()) * gpn);
+      result.schedule_time += schedule_build_time;
+      comm.broadcast(root, 8);  // root announces the re-partition
+
+      std::vector<EvalResult> recovery(config_.nodes);
+      for (std::uint32_t pos = 0; pos < survivors.size(); ++pos) {
+        const std::uint32_t node = survivors[pos];
+        const double straggle = injector.straggle_factor(node, iter);
+        double node_time = 0.0;
+        for (std::uint32_t g = 0; g < gpn; ++g) {
+          const std::uint32_t unit = pos * gpn + g;
+          double gpu_time = 0.0;  // lost segments run back-to-back on the GPU
+          for (const Partition& range : lost) {
+            const Partition segment = intersect(next_schedule[unit], range);
+            if (segment.size() == 0) continue;
+            const DeviceRunResult run =
+                run_device(device, options, tumor, normal, ctx, segment);
+            recovery[node] = merge_results(recovery[node], run.best);
+            gpu_time += run.timing.time * config_.jitter_factor(unit) *
+                        config_.noise_factor() * straggle;
+            telemetry.candidate_bytes_total += run.candidate_bytes;
+            telemetry.combinations += run.stats.combinations;
+          }
+          node_time = std::max(node_time, gpu_time);
+        }
+        comm.compute(node, node_time);
+      }
+      best = merge_results(
+          best, comm.reduce(std::span<const EvalResult>(recovery), root, kCandidateBytes,
+                            [](const EvalResult& a, const EvalResult& b) {
+                              return merge_results(a, b);
+                            }));
+      schedule = std::move(next_schedule);
+
+      const double recovered =
+          comm.finish_time() - t_recover + config_.comm.detection_window;
+      result.recovery_time += recovered;
+      for (const auto& [node, death] : crashed) {
+        injector.record({FaultKind::kRankCrash, node, iter, death,
+                         recovered / static_cast<double>(crashed.size())});
+      }
+      MH_LOG_INFO << "iteration " << iter << ": " << crashed.size()
+                  << " rank(s) lost, re-partitioned onto " << survivors.size()
+                  << " nodes (" << survivors.size() * gpn << " GPUs)";
+    }
+
+    comm.broadcast(root, kCandidateBytes);
+
+    // Host-side BitSplicing bookkeeping happens on every surviving rank
+    // after the broadcast; charge it to the iteration.
+    const double splice_time = static_cast<double>(tumor.genes()) * tumor.words_per_row() /
+                               config_.host_word_rate;
+    for (const std::uint32_t node : comm.alive_ranks()) comm.compute(node, splice_time);
 
     telemetry.best = best;
-    telemetry.iteration_time = comm.finish_time();
-    for (std::uint32_t node = 0; node < config_.nodes; ++node) {
-      telemetry.rank_compute[node] = comm.compute_time(node);
-      telemetry.rank_comm[node] = comm.comm_time(node);
+    telemetry.iteration_time = comm.finish_time() - t_start;
+    for (std::uint32_t r = 0; r < config_.nodes; ++r) {
+      telemetry.rank_compute[r] = comm.compute_time(r) - compute_at_start[r];
+      telemetry.rank_comm[r] = comm.comm_time(r) - comm_at_start[r];
     }
 
-    // Host-side BitSplicing bookkeeping happens on every rank after the
-    // broadcast; charge it to the iteration.
-    telemetry.iteration_time += static_cast<double>(tumor.genes()) * tumor.words_per_row() /
-                                config_.host_word_rate;
-
+    if (any_drops) comm.set_message_faults({});
     result.iterations.push_back(std::move(telemetry));
+    ++iter;
     return best;
   };
 
@@ -132,12 +279,40 @@ ClusterRunResult ClusterRunner::run(const Dataset& data,
   engine.hits = options.hits;
   engine.bit_splicing = options.bit_splicing;
   engine.max_iterations = options.max_iterations;
-  result.greedy = run_greedy(data.tumor, data.normal, engine, evaluator);
+  if (options.checkpoint_every > 0) {
+    // Periodic auto-checkpoint (the §IV-A allocation-limit workflow): every
+    // rank streams its spliced matrix copy to the burst buffer, then the
+    // fleet synchronizes. The snapshot is what a kJobAbort resumes from.
+    CheckpointPolicy policy;
+    policy.every = options.checkpoint_every;
+    policy.sink = [&](const CheckpointState& snapshot) {
+      const double bytes =
+          static_cast<double>(snapshot.tumor.genes()) * snapshot.tumor.words_per_row() * 8.0 +
+          64.0 * static_cast<double>(snapshot.progress.iterations.size());
+      const double write_time = bytes / config_.checkpoint_bytes_per_sec;
+      for (const std::uint32_t node : comm.alive_ranks()) comm.compute(node, write_time);
+      comm.barrier();
+      result.checkpoint_time += write_time;
+      ++result.checkpoints_taken;
+      result.last_checkpoint = snapshot;
+      last_checkpoint_mark = comm.finish_time();
+    };
+    EngineConfig bounded = engine;
+    result.greedy = [&] {
+      CheckpointState state = run_greedy_checkpointed(data.tumor, data.normal, bounded,
+                                                      evaluator, options.max_iterations, policy);
+      return std::move(state.progress);
+    }();
+  } else {
+    result.greedy = run_greedy(data.tumor, data.normal, engine, evaluator);
+  }
 
   // The engine may call the evaluator one final time and then stop (best
   // covers nothing); that evaluation still costs time and stays recorded.
-  result.total_time = config_.job_overhead() + result.schedule_time;
+  result.fault_events = injector.take_records();
+  result.total_time = config_.job_overhead() + result.schedule_time + abort_time;
   for (const auto& it : result.iterations) result.total_time += it.iteration_time;
+  result.total_time += result.checkpoint_time;
   return result;
 }
 

@@ -12,14 +12,35 @@
 //
 // The run is functionally exact — the same combinations are selected as by
 // the serial engine — while clocks, utilization, and traffic are modeled.
+//
+// Fault tolerance (src/fault): a DistributedOptions::faults plan injects
+// rank crashes, stragglers, message drops, and whole-allocation aborts.
+// Recovery preserves the determinism invariant — any fault plan yields
+// greedy selections bit-identical to the fault-free serial reference, only
+// with a longer simulated wall clock:
+//
+//   crash    -> survivors time out on the dead rank (detection window),
+//               rank 0 rebuilds the equi-area schedule over the surviving
+//               GPUs, and the dead rank's λ ranges are re-run as the
+//               intersection of the new partitions with the lost ranges
+//               (merge_results is associative + commutative with invalid as
+//               identity, so the re-merged winner is unchanged);
+//   straggle -> that rank's compute stretches; the reduce absorbs the skew;
+//   drop     -> the message is retransmitted after a timeout, values intact;
+//   abort    -> the run restarts from the last auto-checkpoint
+//               (checkpoint_every); the replay is bit-identical, so only the
+//               lost wall-clock and a fresh job launch are charged.
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "cluster/summit.hpp"
+#include "core/checkpoint.hpp"
 #include "core/engine.hpp"
 #include "core/schemes.hpp"
 #include "data/dataset.hpp"
+#include "fault/injector.hpp"
 #include "gpusim/device.hpp"
 #include "sched/schedule.hpp"
 
@@ -39,6 +60,11 @@ struct DistributedOptions {
   SchedulerKind scheduler = SchedulerKind::kEquiArea;
   bool bit_splicing = true;
   std::uint32_t max_iterations = 0;   ///< 0 = run to full coverage
+  /// Deterministic fault injection; an empty plan runs the happy path.
+  FaultPlan faults;
+  /// Auto-checkpoint period in greedy iterations (0 = off). Needed for
+  /// kJobAbort recovery; crashes/stragglers/drops recover without it.
+  std::uint32_t checkpoint_every = 0;
 };
 
 /// Telemetry for one distributed greedy iteration.
@@ -55,8 +81,21 @@ struct IterationTelemetry {
 struct ClusterRunResult {
   GreedyResult greedy;
   std::vector<IterationTelemetry> iterations;
-  double schedule_time = 0.0;  ///< modeled O(G) scheduler cost per run
-  double total_time = 0.0;     ///< job overhead + schedule + iterations
+  double schedule_time = 0.0;  ///< modeled O(G) scheduler cost (initial + fault re-partitions)
+  double total_time = 0.0;     ///< job overhead + schedule + iterations + checkpoints + aborts
+
+  // --- fault/recovery telemetry (all zero for an empty fault plan) ---
+  std::vector<FaultRecord> fault_events;  ///< faults that fired, in order
+  /// Modeled seconds lost to faults: detection windows, recovery re-runs,
+  /// and aborted allocations. Crash/straggler/drop costs are already inside
+  /// the iteration times; abort penalties are added to total_time directly.
+  double recovery_time = 0.0;
+  double checkpoint_time = 0.0;           ///< modeled snapshot-write seconds
+  std::uint32_t checkpoints_taken = 0;
+  std::uint32_t ranks_lost = 0;
+  /// Newest auto-checkpoint (present when checkpoint_every fired at least
+  /// once) — resuming from it replays the remaining iterations identically.
+  std::optional<CheckpointState> last_checkpoint;
 };
 
 class ClusterRunner {

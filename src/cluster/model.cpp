@@ -139,6 +139,30 @@ ModeledRun model_cluster_run(const SummitConfig& config, const ModelInputs& inpu
 
   run.total_time = config.job_overhead() + run.schedule_time;
   for (const auto& it : run.iterations) run.total_time += it.time;
+
+  // Fault/checkpoint overheads (§IV-A operational reality, zero by default):
+  // expected failures scale with fault-free wall-clock x fleet size, each
+  // costing the failure-detector window, a schedule rebuild, and the dead
+  // rank's share of one iteration re-run across the survivors.
+  const double fault_free_time = run.total_time;
+  if (inputs.checkpoint_every_seconds > 0.0) {
+    const double snapshots = std::floor(fault_free_time / inputs.checkpoint_every_seconds);
+    const double matrix_bytes =
+        static_cast<double>(inputs.genes) * words_for(inputs.tumor_samples) * 8.0;
+    run.checkpoint_overhead = snapshots * matrix_bytes / config.checkpoint_bytes_per_sec;
+  }
+  if (inputs.rank_mtbf_hours > 0.0 && !run.iterations.empty()) {
+    run.expected_failures =
+        fault_free_time * static_cast<double>(config.nodes) / (inputs.rank_mtbf_hours * 3600.0);
+    double mean_iteration = 0.0;
+    for (const auto& it : run.iterations) mean_iteration += it.time;
+    mean_iteration /= static_cast<double>(run.iterations.size());
+    const double per_failure = config.comm.detection_window +
+                               mean_iteration / static_cast<double>(config.nodes) +
+                               run.schedule_time;
+    run.fault_overhead = run.expected_failures * per_failure;
+  }
+  run.total_time += run.fault_overhead + run.checkpoint_overhead;
   return run;
 }
 

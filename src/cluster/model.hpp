@@ -41,6 +41,13 @@ struct ModelInputs {
   double coverage_per_iteration = 0.45;
   std::uint32_t max_iterations = 0;     ///< 0 = run until < 1 sample remains
   bool first_iteration_only = false;    ///< the paper's weak-scaling protocol
+  /// Mean time between failures of one node, in hours (0 = fault-free model,
+  /// the paper's implicit assumption). Summit-class machines sit around
+  /// 20-30 years per node, which still means a failure every few hours
+  /// across 1000 nodes.
+  double rank_mtbf_hours = 0.0;
+  /// Auto-checkpoint period in modeled seconds (0 = no checkpointing).
+  double checkpoint_every_seconds = 0.0;
 };
 
 struct ModeledIteration {
@@ -53,9 +60,19 @@ struct ModeledIteration {
 };
 
 struct ModeledRun {
-  double total_time = 0.0;      ///< job overhead + schedule + iterations
+  double total_time = 0.0;      ///< job overhead + schedule + iterations + fault/checkpoint overheads
   double schedule_time = 0.0;
   std::vector<ModeledIteration> iterations;
+  /// Expected rank failures over the run (fault-free duration x fleet size /
+  /// MTBF); zero when ModelInputs::rank_mtbf_hours is zero.
+  double expected_failures = 0.0;
+  /// Expected seconds lost to failures: each costs a detection window, a
+  /// schedule rebuild, and the re-run of the dead rank's share of one
+  /// iteration spread over the survivors.
+  double fault_overhead = 0.0;
+  /// Seconds spent writing periodic snapshots (the per-rank matrix copy over
+  /// SummitConfig::checkpoint_bytes_per_sec, all ranks concurrent).
+  double checkpoint_overhead = 0.0;
 };
 
 /// Models a full distributed run on `config` for `inputs`.

@@ -30,6 +30,9 @@ struct SummitConfig {
   /// Job launch/teardown: fixed + per-log2(GPUs) seconds (jsrun + MPI wireup).
   double job_fixed_overhead = 20.0;
   double job_log_overhead = 5.0;
+  /// Per-rank write rate to the parallel filesystem / burst buffer for
+  /// checkpoint snapshots (B/s per rank, all ranks write concurrently).
+  double checkpoint_bytes_per_sec = 2e9;
   /// Deterministic per-GPU slowdown spread (DVFS/ECC/OS noise), the texture
   /// visible in the paper's utilization plots. 0.03 = up to 3% slower.
   double gpu_jitter = 0.03;

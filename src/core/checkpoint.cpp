@@ -2,8 +2,10 @@
 
 #include <fstream>
 #include <iomanip>
+#include <memory>
 #include <sstream>
 #include <stdexcept>
+#include <string_view>
 
 namespace multihit {
 
@@ -18,16 +20,51 @@ void append(GreedyResult& base, GreedyResult&& extra) {
   base.uncovered_tumor = extra.uncovered_tumor;
 }
 
+constexpr std::uint64_t kFnvOffset = 14695981039346656037ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+std::uint64_t fnv1a(std::uint64_t hash, std::string_view bytes) noexcept {
+  for (const char c : bytes) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= kFnvPrime;
+  }
+  return hash;
+}
+
+// Caps so a corrupted header cannot demand a multi-terabyte allocation
+// before the checksum check would catch it.
+constexpr std::uint32_t kMaxGenes = 10'000'000;
+constexpr std::uint32_t kMaxSamples = 100'000'000;
+constexpr std::uint32_t kMaxHits = 64;
+
 }  // namespace
 
 CheckpointState run_greedy_checkpointed(BitMatrix tumor, const BitMatrix& normal,
                                         const EngineConfig& config, const Evaluator& evaluator,
-                                        std::uint32_t iterations_this_allocation) {
+                                        std::uint32_t iterations_this_allocation,
+                                        const CheckpointPolicy& policy) {
   CheckpointState state;
   state.hits = config.hits;
   state.bit_splicing = config.bit_splicing;
   EngineConfig bounded = config;
   bounded.max_iterations = iterations_this_allocation;
+  if (policy.every > 0 && policy.sink) {
+    // Chain behind any observer the caller already installed. The snapshot
+    // accumulates the committed records so each sink call sees the full
+    // resumable state, not just the latest iteration.
+    auto seen = std::make_shared<GreedyResult>();
+    const IterationObserver prev = config.on_iteration;
+    bounded.on_iteration = [&config, &policy, prev, seen](const IterationRecord& record,
+                                                          const BitMatrix& tumor_now,
+                                                          std::uint32_t remaining) {
+      if (prev) prev(record, tumor_now, remaining);
+      seen->iterations.push_back(record);
+      seen->uncovered_tumor = remaining;
+      if (seen->iterations.size() % policy.every == 0) {
+        policy.sink(CheckpointState{config.hits, config.bit_splicing, *seen, tumor_now});
+      }
+    };
+  }
   state.progress = run_greedy(std::move(tumor), normal, bounded, evaluator, &state.tumor);
   return state;
 }
@@ -46,49 +83,81 @@ void resume_greedy(CheckpointState& state, const BitMatrix& normal, const Evalua
 void write_checkpoint(std::ostream& out, const CheckpointState& state) {
   // F values must survive the round trip bit-exactly (resume comparisons and
   // the deterministic tie-break depend on them).
-  out << std::setprecision(17);
-  out << "multihit-checkpoint v1\n";
-  out << "hits " << state.hits << '\n';
-  out << "bit-splicing " << (state.bit_splicing ? 1 : 0) << '\n';
-  out << "uncovered " << state.progress.uncovered_tumor << '\n';
-  out << "iterations " << state.progress.iterations.size() << '\n';
+  std::ostringstream payload;
+  payload << std::setprecision(17);
+  payload << "hits " << state.hits << '\n';
+  payload << "bit-splicing " << (state.bit_splicing ? 1 : 0) << '\n';
+  payload << "uncovered " << state.progress.uncovered_tumor << '\n';
+  payload << "iterations " << state.progress.iterations.size() << '\n';
   for (const IterationRecord& it : state.progress.iterations) {
-    out << "iter " << it.f << ' ' << it.tp << ' ' << it.tn << ' '
-        << it.tumor_remaining_before << ' ' << it.tumor_remaining_after;
-    for (const std::uint32_t g : it.genes) out << ' ' << g;
-    out << '\n';
+    payload << "iter " << it.f << ' ' << it.tp << ' ' << it.tn << ' '
+            << it.tumor_remaining_before << ' ' << it.tumor_remaining_after;
+    for (const std::uint32_t g : it.genes) payload << ' ' << g;
+    payload << '\n';
   }
-  out << "tumor " << state.tumor.genes() << ' ' << state.tumor.samples() << '\n';
+  payload << "tumor " << state.tumor.genes() << ' ' << state.tumor.samples() << '\n';
   for (std::uint32_t g = 0; g < state.tumor.genes(); ++g) {
     for (std::uint32_t s = 0; s < state.tumor.samples(); ++s) {
-      if (state.tumor.get(g, s)) out << "b " << g << ' ' << s << '\n';
+      if (state.tumor.get(g, s)) payload << "b " << g << ' ' << s << '\n';
     }
   }
+  const std::string body = payload.str();
+  out << "multihit-checkpoint v2\n" << body;
+  out << "checksum " << std::hex << fnv1a(kFnvOffset, body) << std::dec << '\n';
   out << "end\n";
   if (!out) throw std::ios_base::failure("error writing checkpoint");
 }
 
 CheckpointState read_checkpoint(std::istream& in) {
   std::string line;
-  if (!std::getline(in, line) || line != "multihit-checkpoint v1") fail("bad magic line");
+  if (!std::getline(in, line)) fail("empty stream");
+  if (line != "multihit-checkpoint v2") {
+    if (line.rfind("multihit-checkpoint", 0) == 0) {
+      fail("unsupported checkpoint version: '" + line + "'");
+    }
+    fail("bad magic line");
+  }
 
-  CheckpointState state;
+  // Every payload line feeds the running checksum; the `checksum` trailer
+  // closes the payload, so truncation and any byte corruption are caught.
+  std::uint64_t hash = kFnvOffset;
+  bool saw_checksum = false;
+  auto next_payload_line = [&](const char* context) {
+    if (!std::getline(in, line)) fail(std::string("truncated ") + context);
+    if (line.rfind("checksum ", 0) == 0) {
+      saw_checksum = true;
+      return false;
+    }
+    hash = fnv1a(hash, line);
+    hash = fnv1a(hash, "\n");
+    return true;
+  };
   auto expect = [&](const std::string& key) -> std::istringstream {
-    if (!std::getline(in, line)) fail("truncated header");
-    if (line.rfind(key + " ", 0) != 0) fail("expected '" + key + "'");
+    if (!next_payload_line("header")) fail("header cut short at '" + key + "'");
+    if (line.rfind(key + " ", 0) != 0) fail("expected '" + key + "', got '" + line + "'");
     return std::istringstream(line.substr(key.size() + 1));
   };
+  auto expect_value = [&](const std::string& key, auto& value) {
+    std::istringstream tokens = expect(key);
+    if (!(tokens >> value)) fail("unreadable value for '" + key + "'");
+    std::string junk;
+    if (tokens >> junk) fail("trailing junk after '" + key + "'");
+  };
 
-  expect("hits") >> state.hits;
+  CheckpointState state;
+  expect_value("hits", state.hits);
+  if (state.hits == 0 || state.hits > kMaxHits) fail("hits out of range");
   int splice = 1;
-  expect("bit-splicing") >> splice;
+  expect_value("bit-splicing", splice);
+  if (splice != 0 && splice != 1) fail("bit-splicing must be 0 or 1");
   state.bit_splicing = splice != 0;
-  expect("uncovered") >> state.progress.uncovered_tumor;
-  std::size_t iteration_count = 0;
-  expect("iterations") >> iteration_count;
+  expect_value("uncovered", state.progress.uncovered_tumor);
+  std::uint64_t iteration_count = 0;
+  expect_value("iterations", iteration_count);
+  if (iteration_count > kMaxSamples) fail("iteration count out of range");
 
-  for (std::size_t i = 0; i < iteration_count; ++i) {
-    if (!std::getline(in, line)) fail("truncated iteration list");
+  for (std::uint64_t i = 0; i < iteration_count; ++i) {
+    if (!next_payload_line("iteration list")) fail("iteration list cut short");
     std::istringstream tokens(line);
     std::string tag;
     IterationRecord record;
@@ -99,24 +168,45 @@ CheckpointState read_checkpoint(std::istream& in) {
     }
     std::uint32_t gene = 0;
     while (tokens >> gene) record.genes.push_back(gene);
+    if (!tokens.eof()) fail("non-numeric gene id in: " + line);
     if (record.genes.size() != state.hits) fail("iteration gene count mismatch");
     state.progress.iterations.push_back(std::move(record));
   }
 
   std::uint32_t genes = 0, samples = 0;
-  expect("tumor") >> genes >> samples;
+  {
+    std::istringstream tokens = expect("tumor");
+    if (!(tokens >> genes >> samples)) fail("unreadable tumor dimensions");
+    std::string junk;
+    if (tokens >> junk) fail("trailing junk after 'tumor'");
+  }
+  if (genes > kMaxGenes || samples > kMaxSamples) fail("tumor dimensions out of range");
   state.tumor = BitMatrix(genes, samples);
-  while (std::getline(in, line)) {
-    if (line == "end") return state;
+  while (next_payload_line("bit list")) {
     if (line.empty()) continue;
     std::istringstream tokens(line);
     char tag = 0;
     std::uint32_t g = 0, s = 0;
     if (!(tokens >> tag >> g >> s) || tag != 'b') fail("bad bit line: " + line);
+    std::string junk;
+    if (tokens >> junk) fail("trailing junk in bit line: " + line);
     if (g >= genes || s >= samples) fail("bit out of range");
     state.tumor.set(g, s);
   }
-  fail("missing 'end' marker");
+
+  if (!saw_checksum) fail("missing checksum");
+  std::uint64_t recorded = 0;
+  {
+    std::istringstream tokens(line.substr(std::string("checksum ").size()));
+    if (!(tokens >> std::hex >> recorded)) fail("unreadable checksum");
+  }
+  if (recorded != hash) fail("checksum mismatch (corrupted or truncated stream)");
+  if (!std::getline(in, line) || line != "end") fail("missing 'end' marker");
+  // getline sets eofbit when the stream ran out before the delimiter: an
+  // "end" with no trailing newline is a truncated final line, not a clean
+  // close.
+  if (in.eof()) fail("missing newline after 'end' marker");
+  return state;
 }
 
 void save_checkpoint(const std::string& path, const CheckpointState& state) {

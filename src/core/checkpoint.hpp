@@ -23,11 +23,25 @@ struct CheckpointState {
   BitMatrix tumor;        ///< tumor matrix after those iterations
 };
 
+/// Periodic auto-checkpointing: when `every` > 0 and `sink` is set, a full
+/// CheckpointState snapshot is handed to `sink` after every `every`-th
+/// committed greedy iteration. This is the recovery substrate for rank
+/// crashes and allocation loss: a run resumed from any snapshot replays the
+/// remaining iterations bit-identically (the greedy is memoryless given the
+/// spliced tumor matrix), so a crash costs only the time since the last
+/// snapshot.
+struct CheckpointPolicy {
+  std::uint32_t every = 0;
+  std::function<void(const CheckpointState&)> sink;
+};
+
 /// Runs up to `iterations_this_allocation` greedy iterations (0 = to
-/// completion) and returns the resumable state.
+/// completion) and returns the resumable state. `policy` optionally streams
+/// intermediate snapshots (see CheckpointPolicy).
 CheckpointState run_greedy_checkpointed(BitMatrix tumor, const BitMatrix& normal,
                                         const EngineConfig& config, const Evaluator& evaluator,
-                                        std::uint32_t iterations_this_allocation);
+                                        std::uint32_t iterations_this_allocation,
+                                        const CheckpointPolicy& policy = {});
 
 /// Continues a checkpointed run for up to `iterations_this_allocation` more
 /// iterations (0 = to completion), updating `state` in place. The normal
@@ -35,8 +49,11 @@ CheckpointState run_greedy_checkpointed(BitMatrix tumor, const BitMatrix& normal
 void resume_greedy(CheckpointState& state, const BitMatrix& normal, const Evaluator& evaluator,
                    std::uint32_t iterations_this_allocation = 0);
 
-/// Serialization ("multihit-checkpoint v1"). Throws on I/O errors or
-/// malformed input.
+/// Serialization ("multihit-checkpoint v2"): plain-text header + sparse bit
+/// list, closed by an FNV-1a checksum line over the payload, so truncated or
+/// corrupted (bit-flipped) streams are rejected instead of silently
+/// misparsing. Throws std::runtime_error on malformed input and
+/// std::ios_base::failure on I/O errors.
 void write_checkpoint(std::ostream& out, const CheckpointState& state);
 CheckpointState read_checkpoint(std::istream& in);
 void save_checkpoint(const std::string& path, const CheckpointState& state);

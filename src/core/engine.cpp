@@ -69,6 +69,7 @@ GreedyResult run_greedy(BitMatrix tumor, const BitMatrix& normal, const EngineCo
 
     record.tumor_remaining_after = remaining;
     result.iterations.push_back(std::move(record));
+    if (config.on_iteration) config.on_iteration(result.iterations.back(), tumor, remaining);
   }
 
   result.uncovered_tumor = remaining;

@@ -29,6 +29,15 @@ namespace multihit {
 using Evaluator =
     std::function<EvalResult(const BitMatrix& tumor, const BitMatrix& normal, const FContext&)>;
 
+struct IterationRecord;
+
+/// Observes each committed greedy iteration: the chosen record, the tumor
+/// matrix *after* the exclusion step, and the uncovered sample count. This
+/// is the hook periodic checkpointing and the cluster's fault-recovery
+/// accounting attach to.
+using IterationObserver =
+    std::function<void(const IterationRecord&, const BitMatrix& tumor, std::uint32_t remaining)>;
+
 struct EngineConfig {
   std::uint32_t hits = 4;
   FParams f_params;
@@ -38,6 +47,9 @@ struct EngineConfig {
   /// 0 = run until all tumor samples are covered (or no combination covers
   /// any remaining sample); otherwise stop after this many combinations.
   std::uint32_t max_iterations = 0;
+  /// Optional per-iteration observer (see IterationObserver). Called after
+  /// the iteration is committed; must not mutate engine state.
+  IterationObserver on_iteration;
 };
 
 struct IterationRecord {

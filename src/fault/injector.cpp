@@ -1,0 +1,55 @@
+#include "fault/injector.hpp"
+
+#include "util/log.hpp"
+
+namespace multihit {
+
+FaultInjector::FaultInjector(FaultPlan plan, std::uint32_t ranks) : plan_(std::move(plan)) {
+  plan_.validate(ranks);
+}
+
+double FaultInjector::crash_fraction(std::uint32_t rank, std::uint32_t iteration) const noexcept {
+  for (const FaultEvent& e : plan_.events) {
+    if (e.kind == FaultKind::kRankCrash && e.rank == rank && e.iteration == iteration) {
+      return e.severity;
+    }
+  }
+  return -1.0;
+}
+
+double FaultInjector::straggle_factor(std::uint32_t rank, std::uint32_t iteration) const noexcept {
+  double factor = 1.0;
+  for (const FaultEvent& e : plan_.events) {
+    if (e.kind == FaultKind::kStraggler && e.rank == rank && iteration >= e.iteration &&
+        iteration < e.iteration + e.count) {
+      factor *= e.severity;
+    }
+  }
+  return factor;
+}
+
+std::uint32_t FaultInjector::drops(std::uint32_t rank, std::uint32_t iteration) const noexcept {
+  std::uint32_t count = 0;
+  for (const FaultEvent& e : plan_.events) {
+    if (e.kind == FaultKind::kMessageDrop && e.rank == rank && e.iteration == iteration) {
+      count += e.count;
+    }
+  }
+  return count;
+}
+
+bool FaultInjector::job_abort(std::uint32_t iteration) const noexcept {
+  for (const FaultEvent& e : plan_.events) {
+    if (e.kind == FaultKind::kJobAbort && e.iteration == iteration) return true;
+  }
+  return false;
+}
+
+void FaultInjector::record(const FaultRecord& rec) {
+  records_.push_back(rec);
+  log::emit_event(log::Level::kInfo, std::string("fault.") + fault_kind_name(rec.kind),
+                  {log::field("rank", rec.rank), log::field("iter", rec.iteration),
+                   log::field("t", rec.sim_time), log::field("cost", rec.cost)});
+}
+
+}  // namespace multihit

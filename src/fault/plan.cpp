@@ -1,0 +1,117 @@
+#include "fault/plan.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace multihit {
+
+const char* fault_kind_name(FaultKind kind) noexcept {
+  switch (kind) {
+    case FaultKind::kRankCrash:
+      return "crash";
+    case FaultKind::kStraggler:
+      return "straggler";
+    case FaultKind::kMessageDrop:
+      return "drop";
+    case FaultKind::kJobAbort:
+      return "abort";
+  }
+  return "?";
+}
+
+void FaultPlan::validate(std::uint32_t ranks) const {
+  std::set<std::uint32_t> crashed;
+  for (const FaultEvent& e : events) {
+    if (e.kind != FaultKind::kJobAbort && e.rank >= ranks) {
+      throw std::invalid_argument("fault plan targets rank " + std::to_string(e.rank) +
+                                  " of " + std::to_string(ranks));
+    }
+    switch (e.kind) {
+      case FaultKind::kRankCrash:
+        if (e.severity <= 0.0 || e.severity > 1.0) {
+          throw std::invalid_argument("crash severity must be in (0, 1]");
+        }
+        if (!crashed.insert(e.rank).second) {
+          throw std::invalid_argument("rank " + std::to_string(e.rank) + " crashes twice");
+        }
+        break;
+      case FaultKind::kStraggler:
+        if (e.severity < 1.0) throw std::invalid_argument("straggle factor must be >= 1");
+        if (e.count == 0) throw std::invalid_argument("straggler window must be >= 1");
+        break;
+      case FaultKind::kMessageDrop:
+        if (e.count == 0) throw std::invalid_argument("drop count must be >= 1");
+        break;
+      case FaultKind::kJobAbort:
+        break;
+    }
+  }
+  if (crashed.size() >= ranks) {
+    throw std::invalid_argument("fault plan crashes every rank; no survivor to recover onto");
+  }
+}
+
+FaultPlan random_fault_plan(const RandomFaultSpec& spec) {
+  if (spec.ranks == 0 || spec.iterations == 0) {
+    throw std::invalid_argument("random_fault_plan needs ranks > 0 and iterations > 0");
+  }
+  Rng rng(spec.seed);
+  FaultPlan plan;
+
+  std::uint64_t crashes = rng.poisson(spec.crashes);
+  crashes = std::min<std::uint64_t>(crashes, spec.ranks - 1);
+  const auto crash_ranks = [&] {
+    Rng pick(spec.seed ^ 0x9e3779b97f4a7c15ULL);
+    return pick.sample_without_replacement(spec.ranks, crashes);
+  }();
+  for (const std::uint64_t rank : crash_ranks) {
+    FaultEvent e;
+    e.kind = FaultKind::kRankCrash;
+    e.rank = static_cast<std::uint32_t>(rank);
+    e.iteration = static_cast<std::uint32_t>(rng.uniform(spec.iterations));
+    e.severity = 0.1 + 0.9 * rng.uniform_double();
+    plan.events.push_back(e);
+  }
+
+  const std::uint64_t stragglers = rng.poisson(spec.stragglers);
+  for (std::uint64_t s = 0; s < stragglers; ++s) {
+    FaultEvent e;
+    e.kind = FaultKind::kStraggler;
+    e.rank = static_cast<std::uint32_t>(rng.uniform(spec.ranks));
+    e.iteration = static_cast<std::uint32_t>(rng.uniform(spec.iterations));
+    e.severity = 1.0 + (spec.max_straggle_factor - 1.0) * rng.uniform_double();
+    e.count = 1 + static_cast<std::uint32_t>(rng.uniform(3));
+    plan.events.push_back(e);
+  }
+
+  const std::uint64_t drops = rng.poisson(spec.drops);
+  for (std::uint64_t d = 0; d < drops; ++d) {
+    FaultEvent e;
+    e.kind = FaultKind::kMessageDrop;
+    e.rank = static_cast<std::uint32_t>(rng.uniform(spec.ranks));
+    e.iteration = static_cast<std::uint32_t>(rng.uniform(spec.iterations));
+    e.count = 1 + static_cast<std::uint32_t>(rng.uniform(spec.max_drop_count));
+    plan.events.push_back(e);
+  }
+
+  plan.validate(spec.ranks);
+  return plan;
+}
+
+std::string describe(const FaultPlan& plan) {
+  std::ostringstream out;
+  out << plan.events.size() << " events:";
+  for (const FaultEvent& e : plan.events) {
+    out << ' ' << fault_kind_name(e.kind) << "(r" << e.rank << "@i" << e.iteration;
+    if (e.kind == FaultKind::kStraggler) out << " x" << e.severity;
+    if (e.kind == FaultKind::kMessageDrop) out << " n" << e.count;
+    out << ')';
+  }
+  return out.str();
+}
+
+}  // namespace multihit

@@ -1,0 +1,76 @@
+#pragma once
+// Deterministic fault plans for the simulated cluster.
+//
+// At 1000 nodes / 6000 GPUs rank failure and stragglers are the norm, not
+// the exception — the paper's whole baseline design is dictated by Summit's
+// 2-hour allocation window (§IV-A). A FaultPlan is a fixed, seeded list of
+// events injected into a ClusterRunner run:
+//
+//   kRankCrash   — the rank dies mid-compute in one greedy iteration; its
+//                  partial results are lost and its λ ranges must be re-run
+//                  on the survivors (the rank stays dead for the whole run).
+//   kStraggler   — the rank's compute slows by a factor for a window of
+//                  iterations (DVFS throttling, a sick node, OS jitter).
+//   kMessageDrop — N transmission attempts of the rank's next tree message
+//                  in one iteration are lost, each retried after a timeout.
+//   kJobAbort    — the whole allocation dies before one iteration; the run
+//                  restarts from the last checkpoint (§IV-A's time limit).
+//
+// Plans are pure data: the same plan against the same dataset produces a
+// bit-identical greedy selection sequence (the recovery layer's invariant)
+// and the same modeled clock penalty, which makes every fault differentially
+// testable against the fault-free serial reference.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace multihit {
+
+enum class FaultKind : std::uint8_t { kRankCrash, kStraggler, kMessageDrop, kJobAbort };
+
+const char* fault_kind_name(FaultKind kind) noexcept;
+
+struct FaultEvent {
+  FaultKind kind = FaultKind::kRankCrash;
+  std::uint32_t rank = 0;       ///< target MPI rank (ignored for kJobAbort)
+  std::uint32_t iteration = 0;  ///< greedy iteration the event fires in
+  /// kRankCrash: fraction (0, 1] of the rank's compute finished before it
+  /// dies. kStraggler: compute slowdown factor (>= 1).
+  double severity = 0.5;
+  /// kStraggler: consecutive iterations affected (>= 1).
+  /// kMessageDrop: lost transmission attempts from `rank` that iteration (>= 1).
+  std::uint32_t count = 1;
+};
+
+struct FaultPlan {
+  std::vector<FaultEvent> events;
+
+  bool empty() const noexcept { return events.empty(); }
+
+  /// Throws std::invalid_argument if any event targets a rank outside
+  /// [0, ranks), carries an out-of-range severity/count, or the plan crashes
+  /// every rank (at least one survivor must remain to recover onto).
+  void validate(std::uint32_t ranks) const;
+};
+
+/// Knobs for seeded random plan generation. Rates are expected event counts
+/// over the whole horizon (Poisson-drawn), so plans scale with run length.
+struct RandomFaultSpec {
+  std::uint64_t seed = 1;
+  std::uint32_t ranks = 4;
+  std::uint32_t iterations = 8;  ///< horizon events are placed in
+  double crashes = 0.0;          ///< expected rank crashes (capped at ranks-1)
+  double stragglers = 0.0;       ///< expected straggler windows
+  double drops = 0.0;            ///< expected message-drop bursts
+  double max_straggle_factor = 4.0;
+  std::uint32_t max_drop_count = 4;
+};
+
+/// Deterministic plan from a spec: identical spec -> identical plan.
+FaultPlan random_fault_plan(const RandomFaultSpec& spec);
+
+/// One-line human/log summary, e.g. "2 events: crash(r1@i0) straggler(r2@i1 x2.5)".
+std::string describe(const FaultPlan& plan);
+
+}  // namespace multihit

@@ -6,17 +6,76 @@
 namespace multihit {
 
 SimComm::SimComm(std::uint32_t size, CommCostModel cost)
-    : cost_(cost), clock_(size, 0.0), compute_time_(size, 0.0), comm_time_(size, 0.0) {
+    : cost_(cost),
+      clock_(size, 0.0),
+      compute_time_(size, 0.0),
+      comm_time_(size, 0.0),
+      alive_(size, true),
+      detected_(size, true) {
   if (size == 0) throw std::invalid_argument("SimComm requires at least one rank");
 }
 
 void SimComm::compute(std::uint32_t rank, double seconds) {
-  clock_.at(rank) += seconds;
+  if (!alive_.at(rank)) return;
+  clock_[rank] += seconds;
   compute_time_[rank] += seconds;
 }
 
 double SimComm::finish_time() const noexcept {
-  return *std::max_element(clock_.begin(), clock_.end());
+  double latest = 0.0;
+  for (std::uint32_t r = 0; r < clock_.size(); ++r) {
+    if (alive_[r]) latest = std::max(latest, clock_[r]);
+  }
+  return latest;
+}
+
+std::uint32_t SimComm::alive_count() const noexcept {
+  std::uint32_t count = 0;
+  for (const bool a : alive_) count += a ? 1 : 0;
+  return count;
+}
+
+std::uint32_t SimComm::lowest_alive() const {
+  for (std::uint32_t r = 0; r < alive_.size(); ++r) {
+    if (alive_[r]) return r;
+  }
+  throw std::runtime_error("no surviving rank");
+}
+
+std::vector<std::uint32_t> SimComm::alive_ranks() const {
+  std::vector<std::uint32_t> ranks;
+  ranks.reserve(alive_.size());
+  for (std::uint32_t r = 0; r < alive_.size(); ++r) {
+    if (alive_[r]) ranks.push_back(r);
+  }
+  return ranks;
+}
+
+void SimComm::fail(std::uint32_t rank, double at_time) {
+  if (!alive_.at(rank)) throw std::invalid_argument("rank is already dead");
+  if (alive_count() == 1) throw std::runtime_error("cannot kill the last surviving rank");
+  clock_[rank] = std::max(clock_[rank], at_time);
+  alive_[rank] = false;
+  detected_[rank] = false;
+}
+
+void SimComm::detect_failures() {
+  double latest_death = -1.0;
+  for (std::uint32_t r = 0; r < clock_.size(); ++r) {
+    if (!alive_[r] && !detected_[r]) {
+      latest_death = std::max(latest_death, clock_[r]);
+      detected_[r] = true;
+    }
+  }
+  if (latest_death < 0.0) return;
+  // Every survivor blocks on its dead partner until the failure detector
+  // fires: it cannot have noticed before the death, and then waits out the
+  // full window.
+  for (std::uint32_t r = 0; r < clock_.size(); ++r) {
+    if (alive_[r]) {
+      set_clock_comm(r, std::max(clock_[r], latest_death) + cost_.detection_window);
+    }
+  }
 }
 
 void SimComm::set_clock_comm(std::uint32_t rank, double new_time) {
@@ -27,46 +86,63 @@ void SimComm::set_clock_comm(std::uint32_t rank, double new_time) {
 }
 
 void SimComm::send(std::uint32_t src, std::uint32_t dst, std::uint64_t bytes) {
-  clock_.at(src);
-  clock_.at(dst);
+  if (!alive_.at(src) || !alive_.at(dst)) return;
+  const MessageFault fault = fault_fn_ ? fault_fn_(src, dst, bytes) : MessageFault{};
   const double transfer = cost_.cost(bytes);
-  // The sender is busy for the injection latency; the receiver completes
-  // once both sides are ready and the payload has moved.
-  const double arrival = std::max(clock_[src], clock_[dst]) + transfer;
-  set_clock_comm(src, clock_[src] + cost_.latency);
+  // Each dropped attempt stalls the exchange for one retransmission timeout;
+  // each duplicate occupies the receiver for one extra transfer. The sender
+  // is busy for the injection latency of every copy it puts on the wire.
+  const double penalty = fault.drops * cost_.retransmit_timeout +
+                         fault.duplicates * transfer;
+  const double arrival = std::max(clock_[src], clock_[dst]) + penalty + transfer;
+  set_clock_comm(src, clock_[src] + cost_.latency * (1 + fault.drops + fault.duplicates));
   set_clock_comm(dst, arrival);
 }
 
 void SimComm::barrier() {
-  // Dissemination barrier: after ceil(log2 P) rounds every rank has heard
-  // from every other; all clocks align to the slowest + rounds * latency.
-  const std::uint32_t p = size();
-  if (p == 1) return;
+  detect_failures();
+  // Dissemination barrier: after ceil(log2 P) rounds every surviving rank
+  // has heard from every other; all clocks align to the slowest + rounds *
+  // latency.
+  const std::uint32_t p = alive_count();
+  if (p <= 1) return;
   std::uint32_t rounds = 0;
   for (std::uint32_t span = 1; span < p; span <<= 1) ++rounds;
   const double done = finish_time() + rounds * cost_.latency;
-  for (std::uint32_t r = 0; r < p; ++r) set_clock_comm(r, done);
+  for (std::uint32_t r = 0; r < clock_.size(); ++r) {
+    if (alive_[r]) set_clock_comm(r, done);
+  }
 }
 
 void SimComm::reduce_clocks(std::uint32_t root, std::uint64_t bytes) {
-  // Binomial tree toward root (relative rank 0): in the round with `stride`,
-  // relative rank rel+stride sends its partial to rel.
-  const std::uint32_t p = size();
+  detect_failures();
+  // Binomial tree toward root over the surviving ranks (relative position
+  // 0): in the round with `stride`, relative position rel+stride sends its
+  // partial to rel.
+  const std::vector<std::uint32_t> ranks = alive_ranks();
+  const std::uint32_t p = static_cast<std::uint32_t>(ranks.size());
+  std::uint32_t ri = 0;
+  while (ranks[ri] != root) ++ri;
   for (std::uint32_t stride = 1; stride < p; stride <<= 1) {
     for (std::uint32_t rel = 0; rel + stride < p; rel += stride << 1) {
-      send((root + rel + stride) % p, (root + rel) % p, bytes);
+      send(ranks[(ri + rel + stride) % p], ranks[(ri + rel) % p], bytes);
     }
   }
 }
 
 void SimComm::broadcast(std::uint32_t root, std::uint64_t bytes) {
+  if (!alive_.at(root)) throw std::invalid_argument("broadcast root is dead");
+  detect_failures();
   // Binomial tree away from root, mirroring reduce_clocks.
-  const std::uint32_t p = size();
+  const std::vector<std::uint32_t> ranks = alive_ranks();
+  const std::uint32_t p = static_cast<std::uint32_t>(ranks.size());
+  std::uint32_t ri = 0;
+  while (ranks[ri] != root) ++ri;
   std::uint32_t top = 1;
   while (top < p) top <<= 1;
   for (std::uint32_t stride = top >> 1; stride >= 1; stride >>= 1) {
     for (std::uint32_t rel = 0; rel + stride < p; rel += stride << 1) {
-      send((root + rel) % p, (root + rel + stride) % p, bytes);
+      send(ranks[(ri + rel) % p], ranks[(ri + rel + stride) % p], bytes);
     }
     if (stride == 1) break;
   }

@@ -14,14 +14,25 @@
 // first-class: a reduce absorbs stragglers exactly the way Fig. 8 shows
 // communication hiding under compute variance.
 //
+// Fault awareness: ranks can die (`fail`), after which collectives run over
+// the surviving ranks only. The first collective entered after a death
+// charges every survivor the failure-detector timeout (`detection_window`)
+// — the modeled cost of waiting on a partner that will never answer — and
+// marks the death detected. Point-to-point sends consult an optional
+// message-fault hook; dropped messages cost a retransmission timeout and
+// duplicated messages cost extra wire time, but the payload always arrives
+// (values really move), so faults change clocks, never results.
+//
 // Determinism: collectives apply the reduction operator in a fixed tree
-// order, and the operators used in this project (merge_results, max, sum of
-// integers) are associative, so results are identical at any rank count.
+// order over the ordered surviving-rank list, and the operators used in this
+// project (merge_results, max, sum of integers) are associative, so results
+// are identical at any rank count and under any fault plan.
 
 #include <cassert>
 #include <cstdint>
 #include <functional>
 #include <span>
+#include <stdexcept>
 #include <vector>
 
 namespace multihit {
@@ -31,11 +42,27 @@ namespace multihit {
 struct CommCostModel {
   double latency = 1.5e-6;      ///< s per message
   double bandwidth = 23e9;      ///< B/s
+  /// Failure-detector timeout: how long survivors wait on a dead partner
+  /// inside a collective before declaring it failed (s).
+  double detection_window = 0.05;
+  /// Wait before a dropped message is retransmitted (s per drop).
+  double retransmit_timeout = 1e-3;
 
   double cost(std::uint64_t bytes) const noexcept {
     return latency + static_cast<double>(bytes) / bandwidth;
   }
 };
+
+/// Faults applied to one point-to-point message.
+struct MessageFault {
+  std::uint32_t drops = 0;       ///< lost attempts before the copy that lands
+  std::uint32_t duplicates = 0;  ///< redundant extra copies received
+};
+
+/// Per-send fault decision hook; consulted once per message in clock order,
+/// so a deterministic function yields a deterministic run.
+using MessageFaultFn =
+    std::function<MessageFault(std::uint32_t src, std::uint32_t dst, std::uint64_t bytes)>;
 
 /// A simulated communicator over `size` ranks.
 class SimComm {
@@ -44,65 +71,101 @@ class SimComm {
 
   std::uint32_t size() const noexcept { return static_cast<std::uint32_t>(clock_.size()); }
 
-  /// Advances one rank's clock by local-compute seconds.
+  /// Advances one rank's clock by local-compute seconds. No-op on a dead
+  /// rank (its clock is frozen at the time of death).
   void compute(std::uint32_t rank, double seconds);
 
   double clock(std::uint32_t rank) const { return clock_.at(rank); }
   double compute_time(std::uint32_t rank) const { return compute_time_.at(rank); }
   double comm_time(std::uint32_t rank) const { return comm_time_.at(rank); }
 
-  /// Latest clock across ranks — the job's wall time so far.
+  /// Latest clock across surviving ranks — the job's wall time so far.
   double finish_time() const noexcept;
 
+  /// Marks `rank` dead at simulated time `at_time` (its clock freezes
+  /// there). The death is undetected until the next collective, which
+  /// charges survivors the detection window. Throws if already dead or if
+  /// this would kill the last survivor.
+  void fail(std::uint32_t rank, double at_time);
+
+  bool alive(std::uint32_t rank) const { return alive_.at(rank); }
+  std::uint32_t alive_count() const noexcept;
+  /// Lowest-numbered surviving rank (the deterministic root choice after the
+  /// original root dies).
+  std::uint32_t lowest_alive() const;
+  /// Surviving ranks in ascending order.
+  std::vector<std::uint32_t> alive_ranks() const;
+
+  /// Installs (or clears, with an empty function) the message-fault hook.
+  void set_message_faults(MessageFaultFn fn) { fault_fn_ = std::move(fn); }
+
   /// Timed point-to-point transfer of `bytes` from src to dst. The receive
-  /// completes at max(src send, dst ready) + cost(bytes).
+  /// completes at max(src send, dst ready) + cost(bytes), plus any
+  /// drop/duplication penalties from the fault hook. Silently discarded if
+  /// either endpoint is dead.
   void send(std::uint32_t src, std::uint32_t dst, std::uint64_t bytes);
 
-  /// All ranks wait for the slowest (dissemination barrier, log2 P rounds).
+  /// All surviving ranks wait for the slowest (dissemination barrier,
+  /// log2 P rounds).
   void barrier();
 
-  /// Binomial-tree reduce of `values[r]` (one per rank) to `root`.
-  /// `bytes` is the serialized element size for the cost model. Returns the
-  /// reduced value (available at root's clock).
+  /// Binomial-tree reduce of `values[r]` (one per rank; dead ranks' entries
+  /// are ignored) to `root`, which must be alive. `bytes` is the serialized
+  /// element size for the cost model. Returns the reduced value (available
+  /// at root's clock).
   template <typename T, typename Op>
   T reduce(std::span<const T> values, std::uint32_t root, std::uint64_t bytes, Op op) {
     assert(values.size() == clock_.size());
-    std::vector<T> partial(values.begin(), values.end());
+    if (!alive(root)) throw std::invalid_argument("reduce root is dead");
     reduce_clocks(root, bytes);
-    // Apply the operator in the same binomial-tree order the clock walk
-    // used, so floating-point results are bitwise stable.
-    const std::uint32_t p = size();
+    // Apply the operator in the same binomial-tree order over the surviving
+    // ranks the clock walk used, so floating-point results are bitwise
+    // stable.
+    const std::vector<std::uint32_t> ranks = alive_ranks();
+    const std::uint32_t p = static_cast<std::uint32_t>(ranks.size());
+    std::uint32_t ri = 0;
+    while (ranks[ri] != root) ++ri;
+    std::vector<T> partial;
+    partial.reserve(p);
+    for (const std::uint32_t r : ranks) partial.push_back(values[r]);
     for (std::uint32_t stride = 1; stride < p; stride <<= 1) {
       for (std::uint32_t rel = 0; rel + stride < p; rel += stride << 1) {
-        const std::uint32_t dst = (root + rel) % p;
-        const std::uint32_t src = (root + rel + stride) % p;
+        const std::uint32_t dst = (ri + rel) % p;
+        const std::uint32_t src = (ri + rel + stride) % p;
         partial[dst] = op(partial[dst], partial[src]);
       }
     }
-    return partial[root];
+    return partial[ri];
   }
 
-  /// Binomial-tree broadcast of `bytes` from root; returns when all ranks
-  /// have the value (clocks advanced accordingly).
+  /// Binomial-tree broadcast of `bytes` from root (must be alive); returns
+  /// when all surviving ranks have the value (clocks advanced accordingly).
   void broadcast(std::uint32_t root, std::uint64_t bytes);
 
   /// reduce followed by broadcast (how small-message allreduce behaves).
   template <typename T, typename Op>
   T allreduce(std::span<const T> values, std::uint64_t bytes, Op op) {
-    T result = reduce(values, 0, bytes, op);
-    broadcast(0, bytes);
+    const std::uint32_t root = lowest_alive();
+    T result = reduce(values, root, bytes, op);
+    broadcast(root, bytes);
     return result;
   }
 
  private:
   void reduce_clocks(std::uint32_t root, std::uint64_t bytes);
+  /// Charges every survivor the detection window for deaths not yet
+  /// detected; called on entry to each collective.
+  void detect_failures();
   /// Records a clock move caused by communication (wait + transfer).
   void set_clock_comm(std::uint32_t rank, double new_time);
 
   CommCostModel cost_;
+  MessageFaultFn fault_fn_;
   std::vector<double> clock_;
   std::vector<double> compute_time_;
   std::vector<double> comm_time_;
+  std::vector<bool> alive_;
+  std::vector<bool> detected_;  ///< death already paid for by survivors
 };
 
 }  // namespace multihit

@@ -10,6 +10,7 @@ namespace {
 
 std::atomic<Level> g_level{Level::kInfo};
 std::mutex g_emit_mutex;
+Sink g_sink;  // guarded by g_emit_mutex; empty = stderr
 
 const char* level_name(Level level) noexcept {
   switch (level) {
@@ -48,8 +49,39 @@ Level parse_level(std::string_view name) noexcept {
 void emit(Level lvl, std::string_view message) {
   if (level() > lvl) return;
   std::scoped_lock lock(g_emit_mutex);
+  if (g_sink) {
+    g_sink(lvl, message);
+    return;
+  }
   std::fprintf(stderr, "[%s] %.*s\n", level_name(lvl), static_cast<int>(message.size()),
                message.data());
+}
+
+void set_sink(Sink sink) {
+  std::scoped_lock lock(g_emit_mutex);
+  g_sink = std::move(sink);
+}
+
+std::string format_event(std::string_view event, const Fields& fields) {
+  std::string out(event);
+  for (const auto& [key, value] : fields) {
+    out += ' ';
+    out += key;
+    out += '=';
+    if (value.find(' ') != std::string::npos) {
+      out += '"';
+      out += value;
+      out += '"';
+    } else {
+      out += value;
+    }
+  }
+  return out;
+}
+
+void emit_event(Level lvl, std::string_view event, const Fields& fields) {
+  if (level() > lvl) return;
+  emit(lvl, format_event(event, fields));
 }
 
 }  // namespace multihit::log

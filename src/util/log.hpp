@@ -4,9 +4,12 @@
 // Messages below the active level are discarded cheaply. Output goes to
 // stderr so experiment tables written to stdout stay machine-parseable.
 
+#include <functional>
 #include <sstream>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 namespace multihit::log {
 
@@ -32,6 +35,32 @@ Level parse_level(std::string_view name) noexcept;
 /// Emits one log record at `level`. Prefer the MH_LOG_* macros below, which
 /// skip message formatting entirely when the level is disabled.
 void emit(Level level, std::string_view message);
+
+/// Redirects emitted records to `sink` instead of stderr (used by tools that
+/// collect structured events, and by tests). An empty function restores the
+/// default stderr output. The sink sees records that pass the level filter.
+using Sink = std::function<void(Level, std::string_view)>;
+void set_sink(Sink sink);
+
+/// Ordered key/value pairs attached to a structured event.
+using Fields = std::vector<std::pair<std::string, std::string>>;
+
+/// Stringifies one field value with enough precision for doubles to survive.
+template <typename T>
+std::pair<std::string, std::string> field(std::string_view key, const T& value) {
+  std::ostringstream out;
+  out.precision(17);
+  out << value;
+  return {std::string(key), out.str()};
+}
+
+/// Formats a structured record as `event key=value key=value ...`. Values
+/// containing spaces are quoted so records stay machine-parseable.
+std::string format_event(std::string_view event, const Fields& fields);
+
+/// Emits one structured record (`event key=value ...`) at `level`. Used for
+/// machine-readable run records such as fault-injection events.
+void emit_event(Level level, std::string_view event, const Fields& fields);
 
 namespace detail {
 

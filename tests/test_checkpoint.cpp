@@ -2,9 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <sstream>
 
 #include "data/generator.hpp"
+#include "util/rng.hpp"
 
 namespace multihit {
 namespace {
@@ -123,6 +125,115 @@ TEST(Checkpoint, RejectsMalformedInput) {
         "multihit-checkpoint v1\nhits 3\nbit-splicing 1\nuncovered 0\n"
         "iterations 1\niter 0.5 3 10 5 2 1 2\ntumor 4 4\nend\n");
     EXPECT_THROW(read_checkpoint(buffer), std::runtime_error);
+  }
+}
+
+// --- serialization properties ------------------------------------------------
+
+/// Arbitrary-but-valid state: random dimensions, random sparse bits, random
+/// full-precision F values. Exercises corners a greedy run never produces
+/// (zero iterations, empty matrices, extreme doubles).
+CheckpointState random_state(std::uint64_t seed) {
+  Rng rng(seed);
+  CheckpointState state;
+  state.hits = 2 + static_cast<std::uint32_t>(rng.uniform(4));  // 2..5
+  state.bit_splicing = rng.bernoulli(0.5);
+  const std::uint32_t genes = 2 + static_cast<std::uint32_t>(rng.uniform(20));
+  const std::uint32_t samples = static_cast<std::uint32_t>(rng.uniform(70));  // 0 allowed
+  state.tumor = BitMatrix(genes, samples);
+  for (std::uint32_t g = 0; g < genes; ++g) {
+    for (std::uint32_t s = 0; s < samples; ++s) {
+      if (rng.bernoulli(0.2)) state.tumor.set(g, s);
+    }
+  }
+  const std::uint64_t iterations = rng.uniform(5);  // 0 allowed
+  for (std::uint64_t i = 0; i < iterations; ++i) {
+    IterationRecord record;
+    for (const std::uint64_t g :
+         rng.sample_without_replacement(genes, std::min<std::uint64_t>(state.hits, genes))) {
+      record.genes.push_back(static_cast<std::uint32_t>(g));
+    }
+    while (record.genes.size() < state.hits) record.genes.push_back(genes - 1);
+    // Full-mantissa doubles, including denormal-ish and huge magnitudes —
+    // the round trip must be bit-exact, not approximately equal.
+    record.f = (rng.uniform_double() - 0.5) * std::pow(10.0, rng.uniform_range(-12, 12));
+    record.tp = rng.uniform(1000);
+    record.tn = rng.uniform(1000);
+    record.tumor_remaining_before = static_cast<std::uint32_t>(rng.uniform(samples + 1));
+    record.tumor_remaining_after = static_cast<std::uint32_t>(rng.uniform(samples + 1));
+    state.progress.iterations.push_back(std::move(record));
+  }
+  state.progress.uncovered_tumor = static_cast<std::uint32_t>(rng.uniform(samples + 1));
+  return state;
+}
+
+TEST(CheckpointProperty, RandomStatesSurviveRoundTripBitExactly) {
+  for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+    const CheckpointState original = random_state(seed);
+    std::stringstream buffer;
+    write_checkpoint(buffer, original);
+    const CheckpointState loaded = read_checkpoint(buffer);
+    EXPECT_EQ(loaded.hits, original.hits) << "seed " << seed;
+    EXPECT_EQ(loaded.bit_splicing, original.bit_splicing) << "seed " << seed;
+    EXPECT_EQ(loaded.tumor, original.tumor) << "seed " << seed;
+    EXPECT_EQ(loaded.progress.uncovered_tumor, original.progress.uncovered_tumor);
+    ASSERT_EQ(loaded.progress.iterations.size(), original.progress.iterations.size());
+    for (std::size_t i = 0; i < original.progress.iterations.size(); ++i) {
+      const auto& got = loaded.progress.iterations[i];
+      const auto& want = original.progress.iterations[i];
+      EXPECT_EQ(got.genes, want.genes) << "seed " << seed;
+      EXPECT_EQ(got.f, want.f) << "seed " << seed;  // bit-exact, not NEAR
+      EXPECT_EQ(got.tp, want.tp);
+      EXPECT_EQ(got.tn, want.tn);
+      EXPECT_EQ(got.tumor_remaining_before, want.tumor_remaining_before);
+      EXPECT_EQ(got.tumor_remaining_after, want.tumor_remaining_after);
+    }
+  }
+}
+
+TEST(CheckpointProperty, EveryTruncationIsRejected) {
+  std::stringstream buffer;
+  write_checkpoint(buffer, random_state(99));
+  const std::string full = buffer.str();
+  ASSERT_GT(full.size(), 10u);
+  for (std::size_t length = 0; length < full.size(); ++length) {
+    std::stringstream cut(full.substr(0, length));
+    EXPECT_THROW(read_checkpoint(cut), std::runtime_error) << "prefix length " << length;
+  }
+}
+
+TEST(CheckpointProperty, SingleCharacterCorruptionIsRejected) {
+  std::stringstream buffer;
+  write_checkpoint(buffer, random_state(100));
+  const std::string full = buffer.str();
+  Rng rng(0xc0ffee);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string corrupted = full;
+    const std::size_t at = static_cast<std::size_t>(rng.uniform(full.size()));
+    char replacement = static_cast<char>('0' + rng.uniform(75));  // printable
+    if (replacement == corrupted[at]) replacement = replacement == 'x' ? 'y' : 'x';
+    corrupted[at] = replacement;
+    std::stringstream stream(corrupted);
+    EXPECT_THROW(read_checkpoint(stream), std::runtime_error)
+        << "flip at offset " << at << " to '" << replacement << "'";
+  }
+}
+
+TEST(CheckpointProperty, ForeignVersionsAreRejectedNotMisparsed) {
+  std::stringstream buffer;
+  write_checkpoint(buffer, random_state(101));
+  const std::string full = buffer.str();
+  for (const std::string version : {"v1", "v3", "v22"}) {
+    std::string other = full;
+    other.replace(other.find("v2"), 2, version);
+    std::stringstream stream(other);
+    try {
+      read_checkpoint(stream);
+      FAIL() << "accepted version " << version;
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find("version"), std::string::npos)
+          << "unhelpful error for " << version << ": " << e.what();
+    }
   }
 }
 

@@ -290,6 +290,29 @@ TEST(ClusterModel, CandidateListFitsInNodeMemory) {
   EXPECT_LT(total_bytes, 100e9);  // tens of GB, as in the paper
 }
 
+TEST(ClusterModel, FaultOverheadIsZeroByDefaultAndGrowsWithFailureRate) {
+  SummitConfig base;
+  ModelInputs inputs;
+  const ModeledRun clean = model_cluster_run(base, inputs);
+  EXPECT_DOUBLE_EQ(clean.expected_failures, 0.0);
+  EXPECT_DOUBLE_EQ(clean.fault_overhead, 0.0);
+  EXPECT_DOUBLE_EQ(clean.checkpoint_overhead, 0.0);
+
+  ModelInputs flaky = inputs;
+  flaky.rank_mtbf_hours = 10000.0;  // ~1.1 node-years
+  flaky.checkpoint_every_seconds = 1800.0;
+  const ModeledRun faulty = model_cluster_run(base, flaky);
+  EXPECT_GT(faulty.expected_failures, 0.0);
+  EXPECT_GT(faulty.fault_overhead, 0.0);
+  EXPECT_GT(faulty.checkpoint_overhead, 0.0);
+  EXPECT_NEAR(faulty.total_time,
+              clean.total_time + faulty.fault_overhead + faulty.checkpoint_overhead, 1e-9);
+
+  ModelInputs flakier = flaky;
+  flakier.rank_mtbf_hours = 2000.0;
+  EXPECT_GT(model_cluster_run(base, flakier).fault_overhead, faulty.fault_overhead);
+}
+
 TEST(ClusterModel, InvalidInputsRejected) {
   SummitConfig base;
   ModelInputs inputs;

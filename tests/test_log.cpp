@@ -57,6 +57,47 @@ TEST(Log, EmitRespectsThreshold) {
   SUCCEED();
 }
 
+TEST(Log, SinkCapturesFilteredRecords) {
+  LogLevelGuard guard;
+  set_level(Level::kInfo);
+  std::vector<std::pair<Level, std::string>> seen;
+  set_sink([&](Level level, std::string_view message) {
+    seen.emplace_back(level, std::string(message));
+  });
+  emit(Level::kDebug, "below threshold");
+  emit(Level::kWarn, "captured");
+  MH_LOG_INFO << "streamed " << 7;
+  set_sink({});  // restore stderr before asserting
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0], (std::pair{Level::kWarn, std::string("captured")}));
+  EXPECT_EQ(seen[1], (std::pair{Level::kInfo, std::string("streamed 7")}));
+  emit(Level::kError, "after sink removal");  // must not reach the old sink
+  EXPECT_EQ(seen.size(), 2u);
+}
+
+TEST(Log, FormatEventIsMachineParseable) {
+  EXPECT_EQ(format_event("fault.crash",
+                         {field("rank", 3u), field("iter", 1u), field("t", 2.5)}),
+            "fault.crash rank=3 iter=1 t=2.5");
+  // Values with spaces are quoted so a field never splits into two tokens.
+  EXPECT_EQ(format_event("note", {field("msg", std::string("two words"))}),
+            "note msg=\"two words\"");
+  EXPECT_EQ(format_event("bare", {}), "bare");
+}
+
+TEST(Log, EmitEventReachesSinkStructured) {
+  LogLevelGuard guard;
+  set_level(Level::kInfo);
+  std::vector<std::string> seen;
+  set_sink([&](Level, std::string_view message) { seen.emplace_back(message); });
+  emit_event(Level::kInfo, "fault.straggler",
+             {field("rank", 2u), field("factor", 4.0)});
+  emit_event(Level::kDebug, "fault.suppressed", {});
+  set_sink({});
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0], "fault.straggler rank=2 factor=4");
+}
+
 TEST(Log, OrderingOfLevels) {
   EXPECT_LT(static_cast<int>(Level::kTrace), static_cast<int>(Level::kDebug));
   EXPECT_LT(static_cast<int>(Level::kDebug), static_cast<int>(Level::kInfo));

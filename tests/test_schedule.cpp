@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "combinat/binomial.hpp"
+#include "util/rng.hpp"
 
 namespace multihit {
 namespace {
@@ -107,6 +108,63 @@ TEST(Schedule, MoreUnitsThanWorkYieldsEmptyPartitions) {
   std::uint32_t non_empty = 0;
   for (const auto& p : schedule) non_empty += p.size() > 0 ? 1 : 0;
   EXPECT_LE(non_empty, 20u);
+}
+
+// --- randomized invariants ---------------------------------------------------
+
+/// The invariants every scheduler must hold for any workload and unit count:
+/// exactly `units` partitions, contiguous and disjoint, covering [0, total),
+/// boundaries matching the naive per-thread reference, and a well-defined
+/// imbalance statistic (>= 1 by construction).
+void expect_schedule_invariants(const WorkloadModel& model, std::uint32_t units,
+                                const std::string& context) {
+  const auto fast = equiarea_schedule(model, units);
+  ASSERT_EQ(fast.size(), units) << context;
+  expect_contiguous_cover(fast, model.total_threads());
+  EXPECT_EQ(fast, equiarea_schedule_naive(model, units)) << context;
+  u128 total = 0;
+  for (const auto& p : fast) total += partition_work(model, p);
+  EXPECT_TRUE(total == model.total_work()) << context;
+  EXPECT_GE(schedule_imbalance(model, fast).imbalance, 1.0) << context;
+
+  const auto ed = equidistance_schedule(model, units);
+  ASSERT_EQ(ed.size(), units) << context;
+  expect_contiguous_cover(ed, model.total_threads());
+  EXPECT_GE(schedule_imbalance(model, ed).imbalance, 1.0) << context;
+}
+
+TEST(ScheduleProperty, RandomWorkloadsHoldAllInvariants) {
+  Rng rng(0x5eed);
+  for (int trial = 0; trial < 40; ++trial) {
+    const auto genes = static_cast<std::uint32_t>(6 + rng.uniform(90));  // 6..95
+    WorkloadModel model = [&] {
+      switch (rng.uniform(6)) {
+        case 0:
+          return WorkloadModel::for_scheme4(Scheme4::k1x3, genes);
+        case 1:
+          return WorkloadModel::for_scheme4(Scheme4::k2x2, genes);
+        case 2:
+          return WorkloadModel::for_scheme4(Scheme4::k3x1, genes);
+        case 3:
+          return WorkloadModel::for_scheme4(Scheme4::k4x1, genes);
+        case 4:
+          return WorkloadModel::for_scheme3(Scheme3::k2x1, genes);
+        default:
+          return WorkloadModel::for_scheme2(Scheme2::k1x1, genes);
+      }
+    }();
+    const std::string base = "trial " + std::to_string(trial) + ", G=" + std::to_string(genes);
+    // units = 1, a random moderate count, and more units than threads.
+    expect_schedule_invariants(model, 1, base + ", units=1");
+    const auto units = static_cast<std::uint32_t>(2 + rng.uniform(200));
+    expect_schedule_invariants(model, units, base + ", units=" + std::to_string(units));
+    const auto oversubscribed =
+        static_cast<std::uint32_t>(model.total_threads() + 1 + rng.uniform(50));
+    if (oversubscribed < 5000) {
+      expect_schedule_invariants(model, oversubscribed,
+                                 base + ", units=" + std::to_string(oversubscribed));
+    }
+  }
 }
 
 TEST(Schedule, ZeroUnitsRejected) {
