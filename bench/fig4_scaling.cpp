@@ -14,12 +14,14 @@
 #include <vector>
 
 #include "cluster/scaling.hpp"
+#include "obs/bench.hpp"
 #include "util/table.hpp"
 
 int main() {
   using namespace multihit;
   SummitConfig base;
   ModelInputs inputs;  // BRCA defaults
+  obs::BenchReporter bench("fig4_scaling");
 
   std::cout << "Reproduces paper Fig. 4 (strong/weak scaling, BRCA, 3x1 scheme).\n";
 
@@ -37,6 +39,10 @@ int main() {
   sa.print(std::cout);
   std::cout << "average efficiency (200-1000 nodes) = " << sum / 9.0
             << "   [paper: 0.9014; 0.8418 at 1000 nodes]\n";
+  bench.series("strong_time_100_nodes_s", strong.front().time, "s");
+  bench.series("strong_time_1000_nodes_s", strong.back().time, "s");
+  bench.series("strong_efficiency_1000_nodes", strong.back().efficiency);
+  bench.series("strong_efficiency_mean_200_1000", sum / 9.0);
 
   print_section(std::cout, "Fig. 4(b) — weak scaling, 100 to 500 nodes (first iteration)");
   const std::vector<std::uint32_t> weak_nodes{100, 200, 300, 400, 500};
@@ -48,5 +54,8 @@ int main() {
   }
   wb.print(std::cout);
   std::cout << "[paper: ~0.90 at 500 nodes, 0.946 average 200-500]\n";
+  bench.series("weak_time_500_nodes_s", weak.back().time, "s");
+  bench.series("weak_efficiency_500_nodes", weak.back().efficiency);
+  bench.write();
   return 0;
 }

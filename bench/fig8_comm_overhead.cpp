@@ -7,6 +7,7 @@
 #include <iostream>
 
 #include "cluster/model.hpp"
+#include "obs/bench.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
@@ -43,5 +44,13 @@ int main() {
             << " ranks ~ " << 1e6 * 10 * config.comm.cost(20) << " us\n"
             << "Shape check vs paper: communication is hidden under the compute-time "
                "variance of the slowest rank.\n";
+
+  obs::BenchReporter bench("fig8_comm_overhead");
+  bench.series("iteration_time_s", iteration.time, "s");
+  bench.series("compute_mean_s", mean_compute, "s");
+  bench.series("compute_max_s", max_compute, "s");
+  bench.series("comm_max_s", max_comm, "s");
+  bench.series("comm_fraction_of_iteration", max_comm / iteration.time);
+  bench.write();
   return 0;
 }

@@ -18,6 +18,8 @@
 #include "cluster/model.hpp"
 #include "core/engine.hpp"
 #include "data/generator.hpp"
+#include "obs/bench.hpp"
+#include "obs/recorder.hpp"
 #include "util/log.hpp"
 #include "util/table.hpp"
 
@@ -54,22 +56,24 @@ int main() {
 
   struct Case {
     std::string name;
+    std::string key;  ///< stable BENCH series name
     FaultPlan plan;
     std::uint32_t checkpoint_every = 0;
   };
   std::vector<Case> cases;
-  cases.push_back({"fault-free", {}, 0});
-  cases.push_back({"1 crash (r1@i0, 50%)", {{crash(1, 0, 0.5)}}, 0});
-  cases.push_back({"2 crashes (r1@i0, r5@i1)", {{crash(1, 0, 0.5), crash(5, 1, 0.9)}}, 0});
-  cases.push_back({"straggler x2 (r2, 2 iters)", {{straggle(2, 0, 2.0)}}, 0});
-  cases.push_back({"straggler x8 (r2, 2 iters)", {{straggle(2, 0, 8.0)}}, 0});
-  cases.push_back(
-      {"drops (r3: 4 lost sends@i0)", {{{FaultKind::kMessageDrop, 3, 0, 0.0, 4}}}, 0});
-  cases.push_back({"mixed (crash+straggler+drop)",
+  cases.push_back({"fault-free", "fault_free", {}, 0});
+  cases.push_back({"1 crash (r1@i0, 50%)", "one_crash", {{crash(1, 0, 0.5)}}, 0});
+  cases.push_back({"2 crashes (r1@i0, r5@i1)", "two_crashes",
+                   {{crash(1, 0, 0.5), crash(5, 1, 0.9)}}, 0});
+  cases.push_back({"straggler x2 (r2, 2 iters)", "straggler_2x", {{straggle(2, 0, 2.0)}}, 0});
+  cases.push_back({"straggler x8 (r2, 2 iters)", "straggler_8x", {{straggle(2, 0, 8.0)}}, 0});
+  cases.push_back({"drops (r3: 4 lost sends@i0)", "drops",
+                   {{{FaultKind::kMessageDrop, 3, 0, 0.0, 4}}}, 0});
+  cases.push_back({"mixed (crash+straggler+drop)", "mixed",
                    {{crash(4, 0, 0.3), straggle(1, 0, 2.5),
                      {FaultKind::kMessageDrop, 2, 1, 0.0, 3}}},
                    0});
-  cases.push_back({"abort@i2 + checkpoint every iter",
+  cases.push_back({"abort@i2 + checkpoint every iter", "abort_checkpointed",
                    {{{FaultKind::kJobAbort, 0, 2, 0.0, 1}}},
                    1});
 
@@ -79,14 +83,22 @@ int main() {
                "ranks lost", "identical"});
   table.set_precision(3);
 
+  obs::BenchReporter bench("tab_fault_overhead");
   double baseline = 0.0;
   bool all_identical = true;
   for (const Case& c : cases) {
     DistributedOptions options;
     options.faults = c.plan;
     options.checkpoint_every = c.checkpoint_every;
+    // Every case runs fully instrumented (spans + comm/gpu/fault metrics);
+    // the differential test guarantees this cannot change the numbers.
+    obs::Recorder recorder;
+    options.recorder = &recorder;
     const ClusterRunResult result = runner.run(data, options);
     if (baseline == 0.0) baseline = result.total_time;
+    bench.series("total_s." + c.key, result.total_time, "s");
+    bench.series("recovery_s." + c.key, result.recovery_time, "s");
+    bench.series("fault_events." + c.key, static_cast<double>(result.fault_events.size()));
 
     bool identical = result.greedy.iterations.size() == serial.iterations.size() &&
                      result.greedy.uncovered_tumor == serial.uncovered_tumor;
@@ -126,6 +138,9 @@ int main() {
                    run.expected_failures, run.fault_overhead, run.checkpoint_overhead,
                    run.total_time, 100.0 * (run.total_time - fault_free) / fault_free});
   }
+  bench.series("all_plans_identical", all_identical ? 1.0 : 0.0);
+  bench.write();
+
   sweep.print(std::cout);
   std::cout << "Shape check: recovery is nearly free at this scale. The resumable state\n"
                "(selections + spliced matrix) is a few MB, so snapshots cost milliseconds,\n"

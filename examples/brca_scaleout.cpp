@@ -2,6 +2,14 @@
 //
 //   $ ./examples/brca_scaleout [nodes] [--crash R@I[:F]] [--straggle R@I:F]
 //                              [--drop R@I:N] [--checkpoint N]
+//                              [--trace-out FILE] [--metrics-out FILE]
+//                              [--log-level LEVEL]
+//
+// Observability: `--trace-out run.trace.json` writes a Chrome trace-event
+// file of the functional run (open at https://ui.perfetto.dev — one lane per
+// MPI rank plus engine/scheduler lanes), `--metrics-out run.metrics.json`
+// writes the metrics-registry snapshot. Both are deterministic: timestamps
+// are simulated seconds, so identical runs produce byte-identical files.
 //
 // Part 1 runs the *functional* distributed pipeline (equi-area schedule ->
 // per-GPU maxF + parallelReduceMax -> node merge -> MPI reduce) on a
@@ -31,13 +39,17 @@
 #include "cluster/scaling.hpp"
 #include "core/engine.hpp"
 #include "data/registry.hpp"
+#include "obs/recorder.hpp"
+#include "util/log.hpp"
 #include "util/table.hpp"
 
 namespace {
 
 [[noreturn]] void usage() {
   std::cerr << "usage: brca_scaleout [nodes] [--crash R@I[:F]] [--straggle R@I:F]\n"
-               "                     [--drop R@I:N] [--checkpoint N]\n";
+               "                     [--drop R@I:N] [--checkpoint N]\n"
+               "                     [--trace-out FILE] [--metrics-out FILE]\n"
+               "                     [--log-level LEVEL]\n";
   std::exit(1);
 }
 
@@ -47,6 +59,7 @@ int main(int argc, char** argv) {
   using namespace multihit;
   std::uint32_t nodes = 4;
   DistributedOptions options;  // 4-hit, 3x1, EA, both prefetches, splicing
+  std::string trace_out, metrics_out;
 
   for (int a = 1; a < argc; ++a) {
     const std::string arg = argv[a];
@@ -70,6 +83,19 @@ int main(int argc, char** argv) {
       options.faults.events.push_back({FaultKind::kMessageDrop, rank, iter, 0.0, count});
     } else if (arg == "--checkpoint") {
       options.checkpoint_every = static_cast<std::uint32_t>(std::atoi(next()));
+    } else if (arg == "--trace-out") {
+      trace_out = next();
+    } else if (arg == "--metrics-out") {
+      metrics_out = next();
+    } else if (arg == "--log-level") {
+      const char* name = next();
+      const auto level = log::parse_level(name);
+      if (!level) {
+        std::cerr << "unknown --log-level '" << name << "' (expected one of: "
+                  << log::level_names() << ")\n";
+        return 1;
+      }
+      log::set_level(*level);
     } else if (arg[0] != '-') {
       nodes = static_cast<std::uint32_t>(std::atoi(arg.c_str()));
     } else {
@@ -105,12 +131,30 @@ int main(int argc, char** argv) {
   SummitConfig config;
   config.nodes = nodes;
   const ClusterRunner runner(config);
+  obs::Recorder recorder;
+  if (!trace_out.empty() || !metrics_out.empty()) options.recorder = &recorder;
   ClusterRunResult distributed;
   try {
     distributed = runner.run(data, options);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
+  }
+  if (!trace_out.empty()) {
+    if (!recorder.write_trace(trace_out)) {
+      std::cerr << "error: cannot write trace to " << trace_out << "\n";
+      return 1;
+    }
+    std::cout << "  trace written to " << trace_out << " ("
+              << recorder.trace.size() << " events; open at https://ui.perfetto.dev)\n";
+  }
+  if (!metrics_out.empty()) {
+    if (!recorder.write_metrics(metrics_out)) {
+      std::cerr << "error: cannot write metrics to " << metrics_out << "\n";
+      return 1;
+    }
+    std::cout << "  metrics written to " << metrics_out << " ("
+              << recorder.metrics.series_count() << " series)\n";
   }
 
   EngineConfig serial_config;

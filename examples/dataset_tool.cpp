@@ -23,6 +23,7 @@
 #include "core/schemes.hpp"
 #include "data/generator.hpp"
 #include "data/io.hpp"
+#include "util/log.hpp"
 
 namespace {
 
@@ -149,10 +150,21 @@ int main(int argc, char** argv) {
       "  info <path>\n"
       "  split <path> <train-out> <test-out> [--seed N]\n"
       "  solve <path> [--hits N] [--checkpoint out.chk --iters K]\n"
-      "  resume <path> <checkpoint> [--iters K]\n";
+      "  resume <path> <checkpoint> [--iters K]\n"
+      "  (any command also accepts --log-level <" +
+      std::string(multihit::log::level_names()) + ">)\n";
   if (argc < 2) {
     std::cerr << usage;
     return 1;
+  }
+  if (const char* name = flag_string(argc, argv, "--log-level")) {
+    const auto level = multihit::log::parse_level(name);
+    if (!level) {
+      std::cerr << "unknown --log-level '" << name << "' (expected one of: "
+                << multihit::log::level_names() << ")\n";
+      return 1;
+    }
+    multihit::log::set_level(*level);
   }
   try {
     const std::string cmd = argv[1];

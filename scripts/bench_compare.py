@@ -1,0 +1,139 @@
+#!/usr/bin/env python3
+"""Validate BENCH_*.json records and diff them against committed baselines.
+
+The bench binaries (fig4_scaling, fig8_comm_overhead, tab_fault_overhead, ...)
+write machine-readable perf records — schema multihit.bench.v1, see
+src/obs/bench.hpp — into $MULTIHIT_BENCH_DIR. This script is the regression
+gate over that trajectory:
+
+  1. every record must parse and carry the expected schema/fields;
+  2. every series present in the matching bench/baselines/BENCH_<name>.json
+     is compared, and a relative delta beyond --threshold is reported.
+
+By default drift only warns (exit 0) so modeled-time refinements don't block
+CI; --strict turns schema violations AND drift into a non-zero exit for
+deliberate perf-gate runs.
+
+Usage:
+  scripts/bench_compare.py [--baseline-dir bench/baselines]
+                           [--threshold 0.10] [--strict] FILE...
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import os
+import sys
+
+SCHEMA = "multihit.bench.v1"
+METRICS_SCHEMA = "multihit.metrics.v1"
+
+
+def fail(errors: list[str], message: str) -> None:
+    errors.append(message)
+    print(f"ERROR: {message}", file=sys.stderr)
+
+
+def warn(message: str) -> None:
+    print(f"WARN: {message}", file=sys.stderr)
+
+
+def validate(path: str, errors: list[str]) -> dict | None:
+    """Checks one record against the multihit.bench.v1 shape."""
+    try:
+        with open(path, encoding="utf-8") as handle:
+            record = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        fail(errors, f"{path}: unreadable or invalid JSON: {exc}")
+        return None
+
+    if record.get("schema") != SCHEMA:
+        fail(errors, f"{path}: schema is {record.get('schema')!r}, expected {SCHEMA!r}")
+        return None
+    if not isinstance(record.get("bench"), str) or not record["bench"]:
+        fail(errors, f"{path}: missing bench name")
+        return None
+    series = record.get("series")
+    if not isinstance(series, list) or not series:
+        fail(errors, f"{path}: series must be a non-empty list")
+        return None
+    for point in series:
+        if not isinstance(point.get("name"), str):
+            fail(errors, f"{path}: series point without a name: {point}")
+            return None
+        value = point.get("value")
+        if not isinstance(value, (int, float)) or not math.isfinite(value):
+            fail(errors, f"{path}: series {point.get('name')!r} has non-finite value")
+            return None
+    metrics = record.get("metrics")
+    if not isinstance(metrics, dict) or metrics.get("schema") != METRICS_SCHEMA:
+        fail(errors, f"{path}: metrics section missing or not {METRICS_SCHEMA!r}")
+        return None
+    return record
+
+
+def series_map(record: dict) -> dict[str, float]:
+    return {point["name"]: float(point["value"]) for point in record["series"]}
+
+
+def compare(path: str, record: dict, baseline_dir: str, threshold: float,
+            drift: list[str]) -> None:
+    baseline_path = os.path.join(baseline_dir, f"BENCH_{record['bench']}.json")
+    if not os.path.exists(baseline_path):
+        warn(f"{path}: no baseline at {baseline_path} (skipping comparison)")
+        return
+    with open(baseline_path, encoding="utf-8") as handle:
+        baseline = json.load(handle)
+
+    current = series_map(record)
+    for name, base_value in sorted(series_map(baseline).items()):
+        if name not in current:
+            drift.append(f"{record['bench']}: series {name!r} disappeared")
+            continue
+        value = current[name]
+        if base_value == 0.0:
+            delta = 0.0 if value == 0.0 else math.inf
+        else:
+            delta = abs(value - base_value) / abs(base_value)
+        marker = "DRIFT" if delta > threshold else "ok   "
+        print(f"  {marker} {record['bench']}.{name}: {base_value:.6g} -> "
+              f"{value:.6g} ({delta:+.2%})")
+        if delta > threshold:
+            drift.append(f"{record['bench']}.{name}: {base_value:.6g} -> {value:.6g}")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("files", nargs="+", help="BENCH_*.json records to check")
+    parser.add_argument("--baseline-dir", default="bench/baselines")
+    parser.add_argument("--threshold", type=float, default=0.10,
+                        help="relative drift that counts as a regression (default 0.10)")
+    parser.add_argument("--strict", action="store_true",
+                        help="exit non-zero on schema errors or drift (default: warn only)")
+    args = parser.parse_args()
+
+    errors: list[str] = []
+    drift: list[str] = []
+    for path in args.files:
+        record = validate(path, errors)
+        if record is None:
+            continue
+        print(f"{path}: valid {SCHEMA} record for bench {record['bench']!r} "
+              f"({len(record['series'])} series)")
+        compare(path, record, args.baseline_dir, args.threshold, drift)
+
+    if drift:
+        warn(f"{len(drift)} series drifted beyond {args.threshold:.0%}:")
+        for line in drift:
+            print(f"  {line}", file=sys.stderr)
+    if errors:
+        return 1
+    if drift and args.strict:
+        return 2
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

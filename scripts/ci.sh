@@ -20,4 +20,20 @@ for preset in default asan; do
   ctest --preset "$preset" -j "$jobs"
 done
 
+# Instrumented bench trajectory: run the BENCH-emitting benches from the
+# optimized build, validate the multihit.bench.v1 records, and diff them
+# against the committed baselines (warn-only — modeled-time refinements are
+# legitimate; pass --strict here to turn drift into a failure).
+bench_dir="build/bench_records"
+mkdir -p "$bench_dir"
+echo "=== bench records ==="
+for bench in fig4_scaling fig8_comm_overhead tab_fault_overhead; do
+  MULTIHIT_BENCH_DIR="$bench_dir" "build/bench/$bench" > /dev/null
+done
+if command -v python3 > /dev/null; then
+  python3 scripts/bench_compare.py "$bench_dir"/BENCH_*.json
+else
+  echo "python3 not found; skipping BENCH schema validation" >&2
+fi
+
 echo "=== all presets green ==="

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "gpusim/device.hpp"
+#include "obs/recorder.hpp"
 #include "sched/memaware.hpp"
 #include "sched/workload.hpp"
 #include "util/log.hpp"
@@ -63,7 +64,8 @@ ClusterRunResult ClusterRunner::run(const Dataset& data,
   ClusterRunResult result;
   const std::uint32_t gpn = config_.gpus_per_node;
   const std::uint32_t total_units = config_.units();
-  const GpuDevice device(config_.device);
+  obs::Recorder* const rec = options.recorder;
+  const GpuDevice device(config_.device, rec);
 
   // The workload model depends only on G, which never changes across
   // iterations (BitSplicing removes samples, not genes) — built once,
@@ -91,7 +93,36 @@ ClusterRunResult ClusterRunner::run(const Dataset& data,
   // liveness persist across iterations — a crashed rank stays dead), the
   // injector, and checkpoint bookkeeping.
   SimComm comm(config_.nodes, config_.comm);
+  comm.set_recorder(rec);
   FaultInjector injector(options.faults, config_.nodes);
+  injector.set_recorder(rec);
+
+  if (rec) {
+    rec->trace.set_lane_name(obs::kEngineLane, "engine");
+    rec->trace.set_lane_name(obs::kSchedulerLane, "scheduler");
+    for (std::uint32_t r = 0; r < config_.nodes; ++r) {
+      rec->trace.set_lane_name(r, "rank " + std::to_string(r));
+    }
+    rec->trace.complete(obs::kSchedulerLane, "schedule_build", "driver", 0.0,
+                        schedule_build_time, {{"units", std::to_string(total_units)}});
+    rec->metrics.gauge("cluster.nodes").set(static_cast<double>(config_.nodes));
+    rec->metrics.gauge("cluster.gpus").set(static_cast<double>(total_units));
+  }
+
+  // Collective/phase spans are deltas of the per-rank simulated clocks: a
+  // snapshot before, the phase itself, then one span per rank whose clock
+  // advanced. Dead ranks' clocks are frozen, so they emit nothing.
+  std::vector<double> clock_snap(config_.nodes);
+  const auto snap_clocks = [&] {
+    for (std::uint32_t r = 0; r < config_.nodes; ++r) clock_snap[r] = comm.clock(r);
+  };
+  const auto emit_clock_spans = [&](const char* name, const char* category) {
+    for (std::uint32_t r = 0; r < config_.nodes; ++r) {
+      if (comm.clock(r) > clock_snap[r]) {
+        rec->trace.complete(r, name, category, clock_snap[r], comm.clock(r));
+      }
+    }
+  };
   std::uint32_t iter = 0;
   double abort_time = 0.0;           // allocation restarts; outside the clocks
   double last_checkpoint_mark = 0.0; // comm wall-clock at the last snapshot
@@ -161,6 +192,7 @@ ClusterRunResult ClusterRunner::run(const Dataset& data,
       const std::uint32_t node = active[pos];
       const double straggle = injector.straggle_factor(node, iter);
       const double crash_frac = injector.crash_fraction(node, iter);
+      const double c0 = comm.clock(node);
       EvalResult node_best;
       double node_time = 0.0;  // the node's GPUs run concurrently
       for (std::uint32_t g = 0; g < gpn; ++g) {
@@ -174,6 +206,18 @@ ClusterRunResult ClusterRunner::run(const Dataset& data,
         telemetry.combinations += run.stats.combinations;
         node_best = merge_results(node_best, run.best);
         node_time = std::max(node_time, timing.time);
+        if (rec && timing.time > 0.0) {
+          // The node's GPUs run concurrently: each kernel span starts at the
+          // rank clock, nested inside the compute span emitted below.
+          const StallBreakdown stalls = stall_breakdown(timing);
+          rec->trace.complete(
+              node, "gpu_kernel", "gpu", c0, c0 + timing.time,
+              {{"gpu", std::to_string(g)},
+               {"occupancy", std::to_string(timing.occupancy)},
+               {"dram_throughput", std::to_string(timing.dram_throughput)},
+               {"memory_bound", timing.memory_bound ? "true" : "false"},
+               {"stall_memory_dependency", std::to_string(stalls.memory_dependency)}});
+        }
       }
       if (crash_frac >= 0.0) {
         // Dies mid-compute: the partial work is lost with it, and its λ
@@ -182,6 +226,11 @@ ClusterRunResult ClusterRunner::run(const Dataset& data,
         for (std::uint32_t g = 0; g < gpn; ++g) lost.push_back(schedule[pos * gpn + g]);
         crashed.emplace_back(node, comm.clock(node));
         ++result.ranks_lost;
+        if (rec) {
+          rec->metrics.counter("cluster.ranks_lost").add(1.0);
+          rec->trace.complete(node, "compute", "compute", c0,
+                              c0 + crash_frac * node_time, {{"crashed", "true"}});
+        }
       } else {
         if (straggle > 1.0) {
           injector.record({FaultKind::kStraggler, node, iter, comm.clock(node),
@@ -189,15 +238,21 @@ ClusterRunResult ClusterRunner::run(const Dataset& data,
         }
         rank_candidates[node] = node_best;
         comm.compute(node, node_time);
+        if (rec && comm.clock(node) > c0) {
+          rec->trace.complete(node, "compute", "compute", c0, comm.clock(node),
+                              {{"iteration", std::to_string(iter)}});
+        }
       }
     }
 
     // One 20-byte candidate per surviving rank toward the lowest surviving
     // rank; newly-dead ranks are detected here (survivors pay the window).
     const std::uint32_t root = comm.lowest_alive();
+    if (rec) snap_clocks();
     EvalResult best =
         comm.reduce(std::span<const EvalResult>(rank_candidates), root, kCandidateBytes,
                     [](const EvalResult& a, const EvalResult& b) { return merge_results(a, b); });
+    if (rec) emit_clock_spans("mpi_reduce", "comm");
 
     // --- recovery: re-partition over the survivors and re-run the lost λ
     // ranges. The new equi-area schedule covers [0, total), so intersecting
@@ -210,12 +265,20 @@ ClusterRunResult ClusterRunner::run(const Dataset& data,
       std::vector<Partition> next_schedule =
           build_schedule(static_cast<std::uint32_t>(survivors.size()) * gpn);
       result.schedule_time += schedule_build_time;
+      if (rec) {
+        rec->trace.complete(obs::kSchedulerLane, "schedule_rebuild", "driver", t_recover,
+                            t_recover + schedule_build_time,
+                            {{"survivors", std::to_string(survivors.size())}});
+        snap_clocks();
+      }
       comm.broadcast(root, 8);  // root announces the re-partition
+      if (rec) emit_clock_spans("mpi_broadcast", "comm");
 
       std::vector<EvalResult> recovery(config_.nodes);
       for (std::uint32_t pos = 0; pos < survivors.size(); ++pos) {
         const std::uint32_t node = survivors[pos];
         const double straggle = injector.straggle_factor(node, iter);
+        const double r0 = comm.clock(node);
         double node_time = 0.0;
         for (std::uint32_t g = 0; g < gpn; ++g) {
           const std::uint32_t unit = pos * gpn + g;
@@ -234,12 +297,18 @@ ClusterRunResult ClusterRunner::run(const Dataset& data,
           node_time = std::max(node_time, gpu_time);
         }
         comm.compute(node, node_time);
+        if (rec && comm.clock(node) > r0) {
+          rec->trace.complete(node, "recovery_compute", "recovery", r0, comm.clock(node),
+                              {{"iteration", std::to_string(iter)}});
+        }
       }
+      if (rec) snap_clocks();
       best = merge_results(
           best, comm.reduce(std::span<const EvalResult>(recovery), root, kCandidateBytes,
                             [](const EvalResult& a, const EvalResult& b) {
                               return merge_results(a, b);
                             }));
+      if (rec) emit_clock_spans("mpi_reduce", "comm");
       schedule = std::move(next_schedule);
 
       const double recovered =
@@ -254,19 +323,34 @@ ClusterRunResult ClusterRunner::run(const Dataset& data,
                   << " nodes (" << survivors.size() * gpn << " GPUs)";
     }
 
+    if (rec) snap_clocks();
     comm.broadcast(root, kCandidateBytes);
+    if (rec) emit_clock_spans("mpi_broadcast", "comm");
 
     // Host-side BitSplicing bookkeeping happens on every surviving rank
     // after the broadcast; charge it to the iteration.
     const double splice_time = static_cast<double>(tumor.genes()) * tumor.words_per_row() /
                                config_.host_word_rate;
+    if (rec) snap_clocks();
     for (const std::uint32_t node : comm.alive_ranks()) comm.compute(node, splice_time);
+    if (rec) emit_clock_spans("bit_splice", "host");
 
     telemetry.best = best;
     telemetry.iteration_time = comm.finish_time() - t_start;
     for (std::uint32_t r = 0; r < config_.nodes; ++r) {
       telemetry.rank_compute[r] = comm.compute_time(r) - compute_at_start[r];
       telemetry.rank_comm[r] = comm.comm_time(r) - comm_at_start[r];
+    }
+
+    if (rec) {
+      rec->metrics.counter("cluster.iterations").add(1.0);
+      rec->metrics.counter("cluster.candidate_bytes")
+          .add(static_cast<double>(telemetry.candidate_bytes_total));
+      rec->metrics.counter("cluster.combinations")
+          .add(static_cast<double>(telemetry.combinations));
+      rec->metrics.histogram("cluster.iteration_seconds").observe(telemetry.iteration_time);
+      rec->metrics.gauge("cluster.alive_ranks")
+          .set(static_cast<double>(comm.alive_ranks().size()));
     }
 
     if (any_drops) comm.set_message_faults({});
@@ -279,6 +363,8 @@ ClusterRunResult ClusterRunner::run(const Dataset& data,
   engine.hits = options.hits;
   engine.bit_splicing = options.bit_splicing;
   engine.max_iterations = options.max_iterations;
+  engine.recorder = rec;
+  if (rec) engine.sim_clock = [&comm] { return comm.finish_time(); };
   if (options.checkpoint_every > 0) {
     // Periodic auto-checkpoint (the §IV-A allocation-limit workflow): every
     // rank streams its spliced matrix copy to the burst buffer, then the
@@ -290,12 +376,18 @@ ClusterRunResult ClusterRunner::run(const Dataset& data,
           static_cast<double>(snapshot.tumor.genes()) * snapshot.tumor.words_per_row() * 8.0 +
           64.0 * static_cast<double>(snapshot.progress.iterations.size());
       const double write_time = bytes / config_.checkpoint_bytes_per_sec;
+      if (rec) snap_clocks();
       for (const std::uint32_t node : comm.alive_ranks()) comm.compute(node, write_time);
       comm.barrier();
       result.checkpoint_time += write_time;
       ++result.checkpoints_taken;
       result.last_checkpoint = snapshot;
       last_checkpoint_mark = comm.finish_time();
+      if (rec) {
+        emit_clock_spans("checkpoint_write", "checkpoint");
+        rec->metrics.counter("cluster.checkpoints").add(1.0);
+        rec->metrics.histogram("cluster.checkpoint_seconds").observe(write_time);
+      }
     };
     EngineConfig bounded = engine;
     result.greedy = [&] {

@@ -65,6 +65,12 @@ struct DistributedOptions {
   /// Auto-checkpoint period in greedy iterations (0 = off). Needed for
   /// kJobAbort recovery; crashes/stragglers/drops recover without it.
   std::uint32_t checkpoint_every = 0;
+  /// Optional observability recorder. When set, the run lands phase spans on
+  /// per-rank lanes (compute, GPU kernels, reduce, broadcast, recovery,
+  /// splice, checkpoints) plus cluster.*/comm.*/gpu.*/engine.* metrics.
+  /// Null (the default) leaves selections and modeled times bit-identical —
+  /// instrumentation reads simulated clocks, it never advances them.
+  obs::Recorder* recorder = nullptr;
 };
 
 /// Telemetry for one distributed greedy iteration.

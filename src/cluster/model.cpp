@@ -80,10 +80,8 @@ ModeledIteration model_iteration(const SummitConfig& config, const ModelInputs& 
   }
 
   // The reduction carries one 20-byte candidate per rank; values are
-  // irrelevant for the model, only clocks matter.
-  std::vector<int> dummy(config.nodes, 0);
-  comm.reduce(std::span<const int>(dummy), 0, kCandidateBytes,
-              [](int a, int b) { return a + b; });
+  // irrelevant for the model, only clocks matter — the timing-only walk.
+  comm.reduce_clocks(0, kCandidateBytes);
   comm.broadcast(0, kCandidateBytes);
 
   iteration.time = comm.finish_time() +

@@ -6,6 +6,7 @@
 #include "combinat/unrank.hpp"
 #include "core/schemes.hpp"
 #include "core/serial.hpp"
+#include "obs/recorder.hpp"
 #include "util/log.hpp"
 
 namespace multihit {
@@ -30,9 +31,16 @@ GreedyResult run_greedy(BitMatrix tumor, const BitMatrix& normal, const EngineCo
   std::uint32_t remaining = tumor.samples();
   std::vector<std::uint64_t> covered(tumor.words_per_row());
 
+  // Iteration spans read the simulated clock around the evaluator call;
+  // without a wired clock the iteration index keeps spans monotone.
+  const auto now = [&](double fallback) {
+    return config.sim_clock ? config.sim_clock() : fallback;
+  };
+
   while (remaining > 0) {
     if (config.max_iterations != 0 && result.iterations.size() >= config.max_iterations) break;
 
+    const double iter_begin = now(static_cast<double>(result.iterations.size()));
     FContext ctx{config.f_params, remaining, normal.samples()};
     const EvalResult best = evaluator(tumor, normal, ctx);
     if (!best.valid || best.tp == 0) {
@@ -69,6 +77,20 @@ GreedyResult run_greedy(BitMatrix tumor, const BitMatrix& normal, const EngineCo
 
     record.tumor_remaining_after = remaining;
     result.iterations.push_back(std::move(record));
+    if (config.recorder) {
+      const IterationRecord& committed = result.iterations.back();
+      const double iter_end = now(static_cast<double>(result.iterations.size()));
+      config.recorder->metrics.counter("engine.iterations").add(1.0);
+      config.recorder->metrics.counter("engine.covered_samples")
+          .add(static_cast<double>(committed.tp));
+      config.recorder->metrics.histogram("engine.iteration_f").observe(committed.f);
+      config.recorder->trace.complete(
+          obs::kEngineLane, "greedy_iteration", "engine", iter_begin, iter_end,
+          {{"iteration", std::to_string(result.iterations.size() - 1)},
+           {"f", std::to_string(committed.f)},
+           {"tp", std::to_string(committed.tp)},
+           {"remaining", std::to_string(remaining)}});
+    }
     if (config.on_iteration) config.on_iteration(result.iterations.back(), tumor, remaining);
   }
 

@@ -22,6 +22,10 @@
 #include "core/fscore.hpp"
 #include "core/result.hpp"
 
+namespace multihit::obs {
+struct Recorder;
+}  // namespace multihit::obs
+
 namespace multihit {
 
 /// Finds the best combination in the *current* tumor matrix (samples shrink
@@ -50,6 +54,14 @@ struct EngineConfig {
   /// Optional per-iteration observer (see IterationObserver). Called after
   /// the iteration is committed; must not mutate engine state.
   IterationObserver on_iteration;
+  /// Optional observability recorder: each committed iteration lands a span
+  /// on the engine lane plus engine.* counters. Null keeps the run untouched.
+  obs::Recorder* recorder = nullptr;
+  /// Simulated-clock source for iteration span timestamps. The cluster driver
+  /// wires this to the communicator's finish_time(); when unset with a
+  /// recorder attached, the iteration index serves as a pseudo-clock so spans
+  /// stay monotone in serial runs.
+  std::function<double()> sim_clock;
 };
 
 struct IterationRecord {

@@ -1,5 +1,6 @@
 #include "fault/injector.hpp"
 
+#include "obs/recorder.hpp"
 #include "util/log.hpp"
 
 namespace multihit {
@@ -47,9 +48,22 @@ bool FaultInjector::job_abort(std::uint32_t iteration) const noexcept {
 
 void FaultInjector::record(const FaultRecord& rec) {
   records_.push_back(rec);
-  log::emit_event(log::Level::kInfo, std::string("fault.") + fault_kind_name(rec.kind),
+  const char* kind = fault_kind_name(rec.kind);
+  log::emit_event(log::Level::kInfo, std::string("fault.") + kind,
                   {log::field("rank", rec.rank), log::field("iter", rec.iteration),
                    log::field("t", rec.sim_time), log::field("cost", rec.cost)});
+  if (recorder_) {
+    const obs::Labels labels{{"kind", kind}};
+    recorder_->metrics.counter("fault.events", labels).add(1.0);
+    recorder_->metrics.histogram("fault.cost_seconds", labels).observe(rec.cost);
+    // Job aborts are fleet-wide, not a rank event: they land on the driver
+    // lane so rank lanes keep their monotone span order.
+    const std::uint32_t lane =
+        rec.kind == FaultKind::kJobAbort ? obs::kEngineLane : rec.rank;
+    recorder_->trace.instant(lane, std::string("fault.") + kind, "fault", rec.sim_time,
+                             {{"iteration", std::to_string(rec.iteration)},
+                              {"cost_s", std::to_string(rec.cost)}});
+  }
 }
 
 }  // namespace multihit

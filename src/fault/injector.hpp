@@ -9,6 +9,10 @@
 
 #include "fault/plan.hpp"
 
+namespace multihit::obs {
+struct Recorder;
+}  // namespace multihit::obs
+
 namespace multihit {
 
 /// One fault that fired during a run, with its modeled cost attribution.
@@ -45,8 +49,14 @@ class FaultInjector {
   /// True when the whole allocation dies before `iteration`.
   bool job_abort(std::uint32_t iteration) const noexcept;
 
-  /// Appends a fired-fault record and emits the structured log event.
+  /// Appends a fired-fault record and emits the structured log event; with a
+  /// recorder attached, also counts the fault (fault.events{kind}), observes
+  /// its cost (fault.cost_seconds{kind}), and drops an instant trace event on
+  /// the rank's lane at the fault's simulated time.
   void record(const FaultRecord& rec);
+
+  /// Attaches (or detaches, with nullptr) the observability recorder.
+  void set_recorder(obs::Recorder* recorder) noexcept { recorder_ = recorder; }
 
   const std::vector<FaultRecord>& records() const noexcept { return records_; }
   std::vector<FaultRecord> take_records() noexcept { return std::move(records_); }
@@ -54,6 +64,7 @@ class FaultInjector {
  private:
   FaultPlan plan_;
   std::vector<FaultRecord> records_;
+  obs::Recorder* recorder_ = nullptr;
 };
 
 }  // namespace multihit

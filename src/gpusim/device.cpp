@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/recorder.hpp"
+
 namespace multihit {
 
 EvalResult parallel_reduce_max(std::vector<EvalResult> candidates) {
@@ -42,7 +44,34 @@ DeviceRunResult GpuDevice::run_pipeline(const Partition& partition,
   // Kernel 2: multi-stage reduction over the block candidates.
   result.best = parallel_reduce_max(std::move(block_candidates));
   result.timing = model_gpu_time(spec_, result.stats, span);
+  if (recorder_) record_launch(result);
   return result;
+}
+
+void GpuDevice::record_launch(const DeviceRunResult& result) const {
+  obs::MetricsRegistry& m = recorder_->metrics;
+  // Two launches per pipeline: maxF and parallelReduceMax.
+  m.counter("gpu.kernel_launches").add(2.0);
+  m.counter("gpu.blocks").add(static_cast<double>(result.blocks));
+  m.counter("gpu.combinations").add(static_cast<double>(result.stats.combinations));
+  m.counter("gpu.word_ops").add(static_cast<double>(result.stats.word_ops));
+  m.counter("gpu.dram_bytes").add(static_cast<double>(result.stats.global_words) * 8.0);
+  m.counter("gpu.candidate_bytes").add(static_cast<double>(result.candidate_bytes));
+  m.counter(result.timing.memory_bound ? "gpu.launches_memory_bound"
+                                       : "gpu.launches_compute_bound")
+      .add(1.0);
+  m.histogram("gpu.kernel_seconds").observe(result.timing.time);
+  m.histogram("gpu.occupancy").observe(result.timing.occupancy);
+  m.histogram("gpu.mem_efficiency").observe(result.timing.mem_efficiency);
+  m.histogram("gpu.dram_throughput_bytes_per_sec").observe(result.timing.dram_throughput);
+  const StallBreakdown stalls = stall_breakdown(result.timing);
+  m.histogram("gpu.stall_fraction", {{"reason", "memory_dependency"}})
+      .observe(stalls.memory_dependency);
+  m.histogram("gpu.stall_fraction", {{"reason", "memory_throttle"}})
+      .observe(stalls.memory_throttle);
+  m.histogram("gpu.stall_fraction", {{"reason", "execution_dependency"}})
+      .observe(stalls.execution_dependency);
+  m.histogram("gpu.stall_fraction", {{"reason", "other"}}).observe(stalls.other);
 }
 
 DeviceRunResult GpuDevice::run_4hit(const BitMatrix& tumor, const BitMatrix& normal,

@@ -21,6 +21,10 @@
 #include "gpusim/perfmodel.hpp"
 #include "sched/schedule.hpp"
 
+namespace multihit::obs {
+struct Recorder;
+}  // namespace multihit::obs
+
 namespace multihit {
 
 /// Outcome of one device launch over a partition.
@@ -34,9 +38,16 @@ struct DeviceRunResult {
 
 class GpuDevice {
  public:
-  explicit GpuDevice(DeviceSpec spec = DeviceSpec::v100()) : spec_(spec) {}
+  explicit GpuDevice(DeviceSpec spec = DeviceSpec::v100(), obs::Recorder* recorder = nullptr)
+      : spec_(spec), recorder_(recorder) {}
 
   const DeviceSpec& spec() const noexcept { return spec_; }
+
+  /// Attaches (or detaches, with nullptr) an observability recorder: every
+  /// launch then lands kernel metrics (gpu.kernel_launches, gpu.dram_bytes,
+  /// occupancy/throughput/stall histograms) in its registry. Never affects
+  /// results or modeled times.
+  void set_recorder(obs::Recorder* recorder) noexcept { recorder_ = recorder; }
 
   /// Runs the 4-hit maxF + parallelReduceMax pipeline over threads
   /// [partition.begin, partition.end) of `scheme`.
@@ -62,8 +73,10 @@ class GpuDevice {
  private:
   template <typename EvalBlock>
   DeviceRunResult run_pipeline(const Partition& partition, EvalBlock&& eval_block) const;
+  void record_launch(const DeviceRunResult& result) const;
 
   DeviceSpec spec_;
+  obs::Recorder* recorder_ = nullptr;
 };
 
 /// The multi-stage pairwise reduction of kernel 2, exposed for testing:

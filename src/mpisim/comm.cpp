@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/recorder.hpp"
+
 namespace multihit {
 
 SimComm::SimComm(std::uint32_t size, CommCostModel cost)
@@ -61,13 +63,16 @@ void SimComm::fail(std::uint32_t rank, double at_time) {
 
 void SimComm::detect_failures() {
   double latest_death = -1.0;
+  std::uint32_t newly_detected = 0;
   for (std::uint32_t r = 0; r < clock_.size(); ++r) {
     if (!alive_[r] && !detected_[r]) {
       latest_death = std::max(latest_death, clock_[r]);
       detected_[r] = true;
+      ++newly_detected;
     }
   }
   if (latest_death < 0.0) return;
+  if (recorder_) recorder_->metrics.counter("comm.failures_detected").add(newly_detected);
   // Every survivor blocks on its dead partner until the failure detector
   // fires: it cannot have noticed before the death, and then waits out the
   // full window.
@@ -97,24 +102,39 @@ void SimComm::send(std::uint32_t src, std::uint32_t dst, std::uint64_t bytes) {
   const double arrival = std::max(clock_[src], clock_[dst]) + penalty + transfer;
   set_clock_comm(src, clock_[src] + cost_.latency * (1 + fault.drops + fault.duplicates));
   set_clock_comm(dst, arrival);
+  if (recorder_) {
+    obs::MetricsRegistry& metrics = recorder_->metrics;
+    metrics.counter("comm.messages").add(1.0);
+    metrics.counter("comm.message_bytes").add(static_cast<double>(bytes));
+    if (fault.drops > 0) metrics.counter("comm.retransmits").add(fault.drops);
+    if (fault.duplicates > 0) metrics.counter("comm.duplicates").add(fault.duplicates);
+  }
 }
 
 void SimComm::barrier() {
+  const double begin = finish_time();
   detect_failures();
   // Dissemination barrier: after ceil(log2 P) rounds every surviving rank
   // has heard from every other; all clocks align to the slowest + rounds *
   // latency.
   const std::uint32_t p = alive_count();
-  if (p <= 1) return;
-  std::uint32_t rounds = 0;
-  for (std::uint32_t span = 1; span < p; span <<= 1) ++rounds;
-  const double done = finish_time() + rounds * cost_.latency;
-  for (std::uint32_t r = 0; r < clock_.size(); ++r) {
-    if (alive_[r]) set_clock_comm(r, done);
+  if (p > 1) {
+    std::uint32_t rounds = 0;
+    for (std::uint32_t span = 1; span < p; span <<= 1) ++rounds;
+    const double done = finish_time() + rounds * cost_.latency;
+    for (std::uint32_t r = 0; r < clock_.size(); ++r) {
+      if (alive_[r]) set_clock_comm(r, done);
+    }
   }
+  record_collective("barrier", 0, begin);
 }
 
 void SimComm::reduce_clocks(std::uint32_t root, std::uint64_t bytes) {
+  // Validate the root exactly like broadcast: a dead root is a caller bug,
+  // and without this check the position scan below would walk off the end of
+  // the surviving-rank list.
+  if (!alive_.at(root)) throw std::invalid_argument("reduce root is dead");
+  const double begin = finish_time();
   detect_failures();
   // Binomial tree toward root over the surviving ranks (relative position
   // 0): in the round with `stride`, relative position rel+stride sends its
@@ -128,10 +148,12 @@ void SimComm::reduce_clocks(std::uint32_t root, std::uint64_t bytes) {
       send(ranks[(ri + rel + stride) % p], ranks[(ri + rel) % p], bytes);
     }
   }
+  record_collective("reduce", bytes, begin);
 }
 
 void SimComm::broadcast(std::uint32_t root, std::uint64_t bytes) {
   if (!alive_.at(root)) throw std::invalid_argument("broadcast root is dead");
+  const double begin = finish_time();
   detect_failures();
   // Binomial tree away from root, mirroring reduce_clocks.
   const std::vector<std::uint32_t> ranks = alive_ranks();
@@ -146,6 +168,19 @@ void SimComm::broadcast(std::uint32_t root, std::uint64_t bytes) {
     }
     if (stride == 1) break;
   }
+  record_collective("broadcast", bytes, begin);
+}
+
+void SimComm::record_collective(const char* op, std::uint64_t bytes, double begin) {
+  if (!recorder_) return;
+  obs::MetricsRegistry& metrics = recorder_->metrics;
+  const obs::Labels labels{{"op", op}};
+  metrics.counter("comm.collectives", labels).add(1.0);
+  metrics.counter("comm.collective_bytes", labels).add(static_cast<double>(bytes));
+  // Critical-path cost: how far past the pre-collective frontier (the
+  // slowest participating clock) the collective pushed the job — the
+  // quantity Fig. 8 shows hiding under compute variance.
+  metrics.histogram("comm.collective_seconds", labels).observe(finish_time() - begin);
 }
 
 }  // namespace multihit

@@ -35,6 +35,10 @@
 #include <stdexcept>
 #include <vector>
 
+namespace multihit::obs {
+struct Recorder;
+}  // namespace multihit::obs
+
 namespace multihit {
 
 /// Alpha-beta transfer cost. Defaults are Summit-like: ~1.5 us MPI latency,
@@ -99,6 +103,13 @@ class SimComm {
   /// Installs (or clears, with an empty function) the message-fault hook.
   void set_message_faults(MessageFaultFn fn) { fault_fn_ = std::move(fn); }
 
+  /// Attaches (or detaches, with nullptr) an observability recorder: every
+  /// point-to-point message and collective then lands in its metrics
+  /// registry (comm.messages, comm.retransmits, comm.collective_seconds per
+  /// op, ...). Recording never advances clocks — instrumented and
+  /// uninstrumented runs are bit-identical.
+  void set_recorder(obs::Recorder* recorder) noexcept { recorder_ = recorder; }
+
   /// Timed point-to-point transfer of `bytes` from src to dst. The receive
   /// completes at max(src send, dst ready) + cost(bytes), plus any
   /// drop/duplication penalties from the fault hook. Silently discarded if
@@ -116,8 +127,7 @@ class SimComm {
   template <typename T, typename Op>
   T reduce(std::span<const T> values, std::uint32_t root, std::uint64_t bytes, Op op) {
     assert(values.size() == clock_.size());
-    if (!alive(root)) throw std::invalid_argument("reduce root is dead");
-    reduce_clocks(root, bytes);
+    reduce_clocks(root, bytes);  // validates the root (throws if dead)
     // Apply the operator in the same binomial-tree order over the surviving
     // ranks the clock walk used, so floating-point results are bitwise
     // stable.
@@ -142,6 +152,13 @@ class SimComm {
   /// when all surviving ranks have the value (clocks advanced accordingly).
   void broadcast(std::uint32_t root, std::uint64_t bytes);
 
+  /// Timing-only reduce: advances clocks exactly as reduce() would for a
+  /// `bytes`-sized payload toward `root`, without moving values — what the
+  /// analytic model layer needs. Root must be alive (throws
+  /// std::invalid_argument), exactly like broadcast; this validation is what
+  /// keeps the binomial-tree walk inside the surviving-rank list.
+  void reduce_clocks(std::uint32_t root, std::uint64_t bytes);
+
   /// reduce followed by broadcast (how small-message allreduce behaves).
   template <typename T, typename Op>
   T allreduce(std::span<const T> values, std::uint64_t bytes, Op op) {
@@ -152,15 +169,18 @@ class SimComm {
   }
 
  private:
-  void reduce_clocks(std::uint32_t root, std::uint64_t bytes);
   /// Charges every survivor the detection window for deaths not yet
   /// detected; called on entry to each collective.
   void detect_failures();
   /// Records a clock move caused by communication (wait + transfer).
   void set_clock_comm(std::uint32_t rank, double new_time);
+  /// Lands one finished collective in the attached recorder (no-op without
+  /// one): count, bytes, and critical-path seconds labeled by `op`.
+  void record_collective(const char* op, std::uint64_t bytes, double begin);
 
   CommCostModel cost_;
   MessageFaultFn fault_fn_;
+  obs::Recorder* recorder_ = nullptr;
   std::vector<double> clock_;
   std::vector<double> compute_time_;
   std::vector<double> comm_time_;

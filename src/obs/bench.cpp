@@ -1,0 +1,59 @@
+#include "obs/bench.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <stdexcept>
+
+#include "util/log.hpp"
+
+namespace multihit::obs {
+
+BenchReporter::BenchReporter(std::string_view bench_name) : name_(bench_name) {
+  if (name_.empty()) throw std::invalid_argument("bench name must be non-empty");
+}
+
+void BenchReporter::series(std::string_view key, double value, std::string_view unit) {
+  metrics_.gauge("bench." + std::string(key),
+                 unit.empty() ? Labels{} : Labels{{"unit", std::string(unit)}})
+      .set(value);
+  series_.push_back(SeriesPoint{std::string(key), value, std::string(unit)});
+}
+
+JsonValue BenchReporter::record() const {
+  JsonValue::Array series;
+  for (const SeriesPoint& point : series_) {
+    JsonValue entry;
+    entry.set("name", JsonValue(point.name));
+    entry.set("value", JsonValue(point.value));
+    if (!point.unit.empty()) entry.set("unit", JsonValue(point.unit));
+    series.push_back(std::move(entry));
+  }
+  JsonValue doc;
+  doc.set("schema", JsonValue(kBenchSchema));
+  doc.set("bench", JsonValue(name_));
+  doc.set("series", JsonValue(std::move(series)));
+  doc.set("metrics", metrics_.snapshot());
+  return doc;
+}
+
+std::string BenchReporter::path() const {
+  const char* dir = std::getenv("MULTIHIT_BENCH_DIR");
+  std::string out = (dir && *dir) ? dir : ".";
+  if (out.back() != '/') out += '/';
+  return out + "BENCH_" + name_ + ".json";
+}
+
+bool BenchReporter::write() const {
+  const std::string file = path();
+  std::ofstream out(file);
+  if (out) out << record().dump() << '\n';
+  if (!out) {
+    MH_LOG_WARN << "bench record not written: " << file;
+    return false;
+  }
+  log::emit_event(log::Level::kDebug, "bench.record",
+                  {log::field("bench", name_), log::field("path", file)});
+  return true;
+}
+
+}  // namespace multihit::obs

@@ -1,0 +1,66 @@
+#pragma once
+// Machine-readable benchmark records: the repo's perf trajectory.
+//
+// Each bench target builds a BenchReporter, records its headline series
+// (modeled times, efficiencies, overheads) through the embedded metrics
+// registry, and writes BENCH_<name>.json next to the binary (or into
+// $MULTIHIT_BENCH_DIR). scripts/bench_compare.py validates the schema and
+// diffs the series against the committed baselines in bench/baselines/ —
+// every future perf PR gets its before/after numbers from this file, not
+// from eyeballing ASCII tables.
+//
+// Record schema (multihit.bench.v1):
+//   {"schema": "multihit.bench.v1",
+//    "bench": "<name>",
+//    "series": [{"name": ..., "value": ..., "unit": ...}, ...],
+//    "metrics": <MetricsRegistry snapshot>}
+//
+// `series` is the ordered headline list the regression gate compares;
+// `metrics` is the full registry snapshot for drill-down.
+
+#include <string>
+#include <string_view>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+
+namespace multihit::obs {
+
+inline constexpr std::string_view kBenchSchema = "multihit.bench.v1";
+
+class BenchReporter {
+ public:
+  explicit BenchReporter(std::string_view bench_name);
+
+  /// The registry backing this record; instrument freely, everything lands
+  /// in the "metrics" section of the written file.
+  MetricsRegistry& metrics() noexcept { return metrics_; }
+
+  /// Records one headline series point (also lands in the registry as gauge
+  /// `bench.<key>` so the metrics section is self-contained).
+  void series(std::string_view key, double value, std::string_view unit = "");
+
+  /// The complete record document.
+  JsonValue record() const;
+
+  /// Output path: $MULTIHIT_BENCH_DIR/BENCH_<name>.json (directory defaults
+  /// to the current working directory).
+  std::string path() const;
+
+  /// Writes record() to path(); returns false (and logs a warning) on I/O
+  /// failure — bench binaries still print their tables either way.
+  bool write() const;
+
+ private:
+  struct SeriesPoint {
+    std::string name;
+    double value;
+    std::string unit;
+  };
+
+  std::string name_;
+  MetricsRegistry metrics_;
+  std::vector<SeriesPoint> series_;
+};
+
+}  // namespace multihit::obs

@@ -1,0 +1,155 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace multihit::obs {
+
+void Counter::add(double delta) {
+  if (delta < 0.0 || !std::isfinite(delta)) {
+    throw std::invalid_argument("Counter::add requires a non-negative finite delta");
+  }
+  value_ += delta;
+}
+
+void Histogram::observe(double value) {
+  if (!std::isfinite(value)) {
+    throw std::invalid_argument("Histogram::observe requires a finite value");
+  }
+  samples_.push_back(value);
+  sum_ += value;
+}
+
+double Histogram::min() const noexcept {
+  if (samples_.empty()) return 0.0;
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double Histogram::max() const noexcept {
+  if (samples_.empty()) return 0.0;
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+double Histogram::percentile(double p) const {
+  if (samples_.empty()) return 0.0;
+  std::vector<double> sorted(samples_.begin(), samples_.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double clamped = std::clamp(p, 0.0, 100.0);
+  const double position = clamped / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(position);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = position - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+namespace {
+
+Labels canonical(Labels labels) {
+  std::sort(labels.begin(), labels.end());
+  return labels;
+}
+
+std::string series_key(std::string_view name, const Labels& labels) {
+  // \x1f separators cannot collide with metric names or label text emitted
+  // by this codebase, keeping (name, labels) -> key injective.
+  std::string key(name);
+  for (const auto& [k, v] : labels) {
+    key += '\x1f';
+    key += k;
+    key += '\x1f';
+    key += v;
+  }
+  return key;
+}
+
+JsonValue labels_json(const Labels& labels) {
+  JsonValue::Object object;
+  for (const auto& [k, v] : labels) object.emplace_back(k, JsonValue(v));
+  return JsonValue(std::move(object));
+}
+
+}  // namespace
+
+MetricsRegistry::Series& MetricsRegistry::resolve(std::string_view name, Labels labels,
+                                                  InstrumentKind kind) {
+  if (name.empty()) throw std::invalid_argument("metric name must be non-empty");
+  Labels sorted = canonical(std::move(labels));
+  const std::string key = series_key(name, sorted);
+  std::scoped_lock lock(mutex_);
+  auto [it, inserted] = series_.try_emplace(key);
+  Series& series = it->second;
+  if (inserted) {
+    series.name = std::string(name);
+    series.labels = std::move(sorted);
+    series.kind = kind;
+    switch (kind) {
+      case InstrumentKind::kCounter: series.counter = std::make_unique<Counter>(); break;
+      case InstrumentKind::kGauge: series.gauge = std::make_unique<Gauge>(); break;
+      case InstrumentKind::kHistogram: series.histogram = std::make_unique<Histogram>(); break;
+    }
+  } else if (series.kind != kind) {
+    throw std::invalid_argument("metric '" + std::string(name) +
+                                "' already registered with a different instrument kind");
+  }
+  return series;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name, Labels labels) {
+  return *resolve(name, std::move(labels), InstrumentKind::kCounter).counter;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name, Labels labels) {
+  return *resolve(name, std::move(labels), InstrumentKind::kGauge).gauge;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name, Labels labels) {
+  return *resolve(name, std::move(labels), InstrumentKind::kHistogram).histogram;
+}
+
+std::size_t MetricsRegistry::series_count() const {
+  std::scoped_lock lock(mutex_);
+  return series_.size();
+}
+
+JsonValue MetricsRegistry::snapshot() const {
+  std::scoped_lock lock(mutex_);
+  JsonValue::Array counters, gauges, histograms;
+  for (const auto& [key, series] : series_) {
+    JsonValue entry;
+    entry.set("name", JsonValue(series.name));
+    entry.set("labels", labels_json(series.labels));
+    switch (series.kind) {
+      case InstrumentKind::kCounter:
+        entry.set("value", JsonValue(series.counter->value()));
+        counters.push_back(std::move(entry));
+        break;
+      case InstrumentKind::kGauge:
+        entry.set("value", JsonValue(series.gauge->value()));
+        gauges.push_back(std::move(entry));
+        break;
+      case InstrumentKind::kHistogram: {
+        const Histogram& h = *series.histogram;
+        entry.set("count", JsonValue(static_cast<double>(h.count())));
+        entry.set("sum", JsonValue(h.sum()));
+        entry.set("min", JsonValue(h.min()));
+        entry.set("max", JsonValue(h.max()));
+        entry.set("p50", JsonValue(h.percentile(50.0)));
+        entry.set("p90", JsonValue(h.percentile(90.0)));
+        entry.set("p99", JsonValue(h.percentile(99.0)));
+        histograms.push_back(std::move(entry));
+        break;
+      }
+    }
+  }
+  JsonValue doc;
+  doc.set("schema", JsonValue(kMetricsSchema));
+  doc.set("counters", JsonValue(std::move(counters)));
+  doc.set("gauges", JsonValue(std::move(gauges)));
+  doc.set("histograms", JsonValue(std::move(histograms)));
+  return doc;
+}
+
+std::string MetricsRegistry::to_json() const { return snapshot().dump(); }
+
+}  // namespace multihit::obs

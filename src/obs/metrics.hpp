@@ -1,0 +1,126 @@
+#pragma once
+// Metrics registry: labeled counters, gauges, and histograms.
+//
+// This is the same counters/gauges/histograms shape large training stacks
+// and HPC profilers expose, sized for the simulator: metrics are identified
+// by (name, label set), instruments are cheap to update on hot paths (one
+// add per point-to-point message), and a snapshot serializes the whole
+// registry to a stable, diffable JSON document. Everything is deterministic
+// — no wall-clock timestamps anywhere — so two identical runs produce
+// byte-identical snapshots.
+//
+// Ownership: the registry owns every instrument and hands out references
+// that stay valid for the registry's lifetime (instruments are
+// node-allocated). Instrument lookups take a mutex; updates on an already
+// held reference are lock-free. Hot paths should therefore hold the
+// reference, not re-resolve the name.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace multihit::obs {
+
+/// Label set attached to one metric series, e.g. {{"op", "reduce"}}.
+/// Canonicalized (sorted by key) at registration, so label order never
+/// creates duplicate series.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// Monotonically increasing count (messages, bytes, faults). Negative
+/// increments throw — monotonicity is the counter contract.
+class Counter {
+ public:
+  void add(double delta = 1.0);
+  double value() const noexcept { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Last-write-wins instantaneous value (efficiency, fleet size).
+class Gauge {
+ public:
+  void set(double value) noexcept { value_ = value; }
+  double value() const noexcept { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Sample-exact distribution (latencies, occupancies). Samples are retained
+/// in full — simulator runs observe thousands of points, not billions — so
+/// percentiles are exact and match stats::percentile.
+class Histogram {
+ public:
+  void observe(double value);
+
+  std::uint64_t count() const noexcept { return samples_.size(); }
+  double sum() const noexcept { return sum_; }
+  double min() const noexcept;
+  double max() const noexcept;
+  /// Linear-interpolated percentile, p in [0, 100]; 0 when empty. Identical
+  /// arithmetic to stats::percentile.
+  double percentile(double p) const;
+  std::span<const double> samples() const noexcept { return samples_; }
+
+ private:
+  std::vector<double> samples_;
+  double sum_ = 0.0;
+};
+
+/// The instrument directory. One registry per run/recorder; see Recorder.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Finds or creates the instrument for (name, labels). Registering the
+  /// same name with a different instrument kind throws std::invalid_argument.
+  Counter& counter(std::string_view name, Labels labels = {});
+  Gauge& gauge(std::string_view name, Labels labels = {});
+  Histogram& histogram(std::string_view name, Labels labels = {});
+
+  std::size_t series_count() const;
+
+  /// Snapshot of every series, sorted by (name, labels):
+  ///   {"schema": "multihit.metrics.v1",
+  ///    "counters":   [{"name":..., "labels":{...}, "value":...}],
+  ///    "gauges":     [{"name":..., "labels":{...}, "value":...}],
+  ///    "histograms": [{"name":..., "labels":{...}, "count":..., "sum":...,
+  ///                    "min":..., "max":..., "p50":..., "p90":..., "p99":...}]}
+  JsonValue snapshot() const;
+
+  /// snapshot().dump() — the --metrics-out file format.
+  std::string to_json() const;
+
+ private:
+  enum class InstrumentKind { kCounter, kGauge, kHistogram };
+  struct Series {
+    std::string name;
+    Labels labels;
+    InstrumentKind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Series& resolve(std::string_view name, Labels labels, InstrumentKind kind);
+
+  mutable std::mutex mutex_;
+  /// Keyed by "name\x1f" + canonical labels; std::map gives the sorted
+  /// iteration order snapshots rely on and node-stable instrument addresses.
+  std::map<std::string, Series> series_;
+};
+
+inline constexpr std::string_view kMetricsSchema = "multihit.metrics.v1";
+
+}  // namespace multihit::obs

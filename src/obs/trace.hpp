@@ -1,0 +1,99 @@
+#pragma once
+// Span tracer over *simulated* clocks.
+//
+// Every timestamp fed to this tracer comes from the per-rank simulated
+// clocks in SimComm / the cluster model, never from wall time, so traces
+// are deterministic: two identical runs produce byte-identical trace files,
+// and a diff between two trace files is a meaningful performance diff.
+//
+// Lanes: each trace event carries a lane id (`tid` in Chrome terms). MPI
+// ranks trace on lane == rank; the greedy engine and driver-level phases
+// (schedule build, recovery re-partition) trace on kEngineLane so they
+// never collide with rank lanes. Spans on one lane must be appended in
+// non-decreasing start-time order — per_lane_monotone() verifies it — with
+// nesting expressed by containment (a GPU kernel span sits inside its
+// rank's compute span), which is exactly how Chrome/Perfetto reconstruct
+// the flame graph.
+//
+// Export: to_chrome_json() emits the Chrome trace-event format (the JSON
+// array "traceEvents" flavor) with "X" complete events, "i" instants, and
+// "M" thread-name metadata, timestamps in microseconds. Load it at
+// chrome://tracing or https://ui.perfetto.dev.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace multihit::obs {
+
+/// Lane for engine/driver-level spans, far above any plausible rank count.
+inline constexpr std::uint32_t kEngineLane = 1u << 20;
+
+/// Lane for schedule build/rebuild spans. Kept off the engine lane because a
+/// mid-iteration rebuild begins after the iteration span that is appended
+/// once the iteration commits — on one lane that would break the monotone
+/// append order.
+inline constexpr std::uint32_t kSchedulerLane = kEngineLane + 1;
+
+/// String key/value annotations attached to a span ("args" in the viewer).
+using SpanArgs = std::vector<std::pair<std::string, std::string>>;
+
+struct TraceEvent {
+  std::string name;
+  std::string category;
+  std::uint32_t lane = 0;
+  double begin = 0.0;  ///< simulated seconds
+  double end = 0.0;    ///< == begin for instant events
+  bool instant = false;
+  SpanArgs args;
+
+  double duration() const noexcept { return end - begin; }
+};
+
+class Tracer {
+ public:
+  Tracer() = default;
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Records a complete span [begin, end] on `lane`. Throws
+  /// std::invalid_argument when end < begin (simulated clocks never run
+  /// backwards; a violation is an instrumentation bug worth failing loudly).
+  void complete(std::uint32_t lane, std::string_view name, std::string_view category,
+                double begin, double end, SpanArgs args = {});
+
+  /// Records an instant event (faults, checkpoints-taken marks).
+  void instant(std::uint32_t lane, std::string_view name, std::string_view category,
+               double at, SpanArgs args = {});
+
+  /// Human-readable lane name for the viewer ("rank 3", "engine").
+  void set_lane_name(std::uint32_t lane, std::string_view name);
+
+  const std::vector<TraceEvent>& events() const noexcept { return events_; }
+  std::size_t size() const noexcept { return events_.size(); }
+  bool empty() const noexcept { return events_.empty(); }
+
+  /// True when, per lane, events were appended in non-decreasing start-time
+  /// order — the invariant simulated clocks guarantee and trace viewers
+  /// assume.
+  bool per_lane_monotone() const;
+
+  /// Chrome trace-event document:
+  ///   {"displayTimeUnit": "ms", "traceEvents": [...]}.
+  /// Span events are sorted by (lane, begin, -duration) so nested spans
+  /// follow their parents; timestamps are microseconds of simulated time.
+  JsonValue chrome_trace() const;
+
+  /// chrome_trace().dump() — the --trace-out file format.
+  std::string to_chrome_json() const;
+
+ private:
+  std::vector<TraceEvent> events_;
+  std::vector<std::pair<std::uint32_t, std::string>> lane_names_;
+};
+
+}  // namespace multihit::obs

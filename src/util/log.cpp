@@ -36,15 +36,17 @@ void set_level(Level level) noexcept { g_level.store(level, std::memory_order_re
 
 Level level() noexcept { return g_level.load(std::memory_order_relaxed); }
 
-Level parse_level(std::string_view name) noexcept {
+std::optional<Level> parse_level(std::string_view name) noexcept {
   if (name == "trace") return Level::kTrace;
   if (name == "debug") return Level::kDebug;
   if (name == "info") return Level::kInfo;
   if (name == "warn") return Level::kWarn;
   if (name == "error") return Level::kError;
   if (name == "off") return Level::kOff;
-  return Level::kInfo;
+  return std::nullopt;
 }
+
+std::string_view level_names() noexcept { return "trace, debug, info, warn, error, off"; }
 
 void emit(Level lvl, std::string_view message) {
   if (level() > lvl) return;
@@ -62,21 +64,111 @@ void set_sink(Sink sink) {
   g_sink = std::move(sink);
 }
 
+namespace {
+
+bool needs_quoting(std::string_view value) {
+  if (value.empty()) return true;
+  for (const char c : value) {
+    if (c == ' ' || c == '"' || c == '=' || c == '\\' ||
+        static_cast<unsigned char>(c) < 0x20) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void append_quoted(std::string& out, std::string_view value) {
+  out += '"';
+  for (const char c : value) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  out += '"';
+}
+
+}  // namespace
+
 std::string format_event(std::string_view event, const Fields& fields) {
   std::string out(event);
   for (const auto& [key, value] : fields) {
     out += ' ';
     out += key;
     out += '=';
-    if (value.find(' ') != std::string::npos) {
-      out += '"';
-      out += value;
-      out += '"';
+    if (needs_quoting(value)) {
+      append_quoted(out, value);
     } else {
       out += value;
     }
   }
   return out;
+}
+
+std::optional<ParsedEvent> parse_event(std::string_view record) {
+  constexpr std::size_t npos = std::string_view::npos;
+  ParsedEvent parsed;
+  std::size_t pos = record.find(' ');
+  parsed.event = std::string(record.substr(0, pos));
+  if (parsed.event.empty() || parsed.event.find('"') != std::string::npos ||
+      parsed.event.find('=') != std::string::npos) {
+    return std::nullopt;
+  }
+  if (pos == npos) return parsed;
+
+  while (pos < record.size()) {
+    if (record[pos] != ' ') return std::nullopt;
+    ++pos;  // exactly one separating space per field
+    const std::size_t eq = record.find('=', pos);
+    if (eq == npos || eq == pos) return std::nullopt;
+    std::string key(record.substr(pos, eq - pos));
+    if (key.find(' ') != std::string::npos || key.find('"') != std::string::npos) {
+      return std::nullopt;
+    }
+    pos = eq + 1;
+
+    std::string value;
+    if (pos < record.size() && record[pos] == '"') {
+      ++pos;
+      bool closed = false;
+      while (pos < record.size()) {
+        const char c = record[pos++];
+        if (c == '"') {
+          closed = true;
+          break;
+        }
+        if (c == '\\') {
+          if (pos >= record.size()) return std::nullopt;
+          switch (record[pos++]) {
+            case '"': value += '"'; break;
+            case '\\': value += '\\'; break;
+            case 'n': value += '\n'; break;
+            case 'r': value += '\r'; break;
+            case 't': value += '\t'; break;
+            default: return std::nullopt;
+          }
+        } else {
+          value += c;
+        }
+      }
+      if (!closed) return std::nullopt;
+      if (pos < record.size() && record[pos] != ' ') return std::nullopt;
+    } else {
+      std::size_t end = record.find(' ', pos);
+      if (end == npos) end = record.size();
+      value = std::string(record.substr(pos, end - pos));
+      if (value.find('"') != std::string::npos || value.find('=') != std::string::npos) {
+        return std::nullopt;
+      }
+      pos = end;
+    }
+    parsed.fields.emplace_back(std::move(key), std::move(value));
+  }
+  return parsed;
 }
 
 void emit_event(Level lvl, std::string_view event, const Fields& fields) {

@@ -5,6 +5,7 @@
 // stderr so experiment tables written to stdout stay machine-parseable.
 
 #include <functional>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <string_view>
@@ -29,8 +30,12 @@ void set_level(Level level) noexcept;
 Level level() noexcept;
 
 /// Parses a level name ("trace", "debug", "info", "warn", "error", "off").
-/// Unknown names return kInfo.
-Level parse_level(std::string_view name) noexcept;
+/// Unknown names return nullopt so callers can reject a typo'd --log-level
+/// instead of silently running at kInfo.
+std::optional<Level> parse_level(std::string_view name) noexcept;
+
+/// The accepted parse_level names, for CLI error messages.
+std::string_view level_names() noexcept;
 
 /// Emits one log record at `level`. Prefer the MH_LOG_* macros below, which
 /// skip message formatting entirely when the level is disabled.
@@ -55,8 +60,21 @@ std::pair<std::string, std::string> field(std::string_view key, const T& value) 
 }
 
 /// Formats a structured record as `event key=value key=value ...`. Values
-/// containing spaces are quoted so records stay machine-parseable.
+/// containing spaces, quotes, `=`, backslashes, or control characters (or
+/// empty values) are double-quoted with `\`-escaping so every record parses
+/// back losslessly via parse_event.
 std::string format_event(std::string_view event, const Fields& fields);
+
+/// Parses a format_event record back into (event, fields). Returns nullopt
+/// for records that are not well-formed (unterminated quote, missing `=`,
+/// bad escape) — the round-trip contract is parse_event(format_event(e, f))
+/// == (e, f) for any field content.
+struct ParsedEvent {
+  std::string event;
+  Fields fields;
+  bool operator==(const ParsedEvent&) const = default;
+};
+std::optional<ParsedEvent> parse_event(std::string_view record);
 
 /// Emits one structured record (`event key=value ...`) at `level`. Used for
 /// machine-readable run records such as fault-injection events.

@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "core/result.hpp"
+#include "obs/recorder.hpp"
 
 namespace multihit {
 namespace {
@@ -142,6 +143,99 @@ TEST(SimComm, CommTimeAccountingIsConsistent) {
   comm.barrier();
   for (std::uint32_t r = 0; r < 4; ++r) {
     EXPECT_NEAR(comm.compute_time(r) + comm.comm_time(r), comm.clock(r), 1e-12) << r;
+  }
+}
+
+TEST(SimComm, ReduceClocksRejectsDeadRoot) {
+  // Regression: reduce_clocks used to scan the survivor list for the root's
+  // position without checking liveness first — a dead root meant the scan
+  // walked one past the end of the list (UB) instead of throwing like
+  // broadcast does.
+  SimComm comm(4);
+  comm.fail(2, 0.0);
+  EXPECT_THROW(comm.reduce_clocks(2, 20), std::invalid_argument);
+  EXPECT_NO_THROW(comm.reduce_clocks(0, 20));
+}
+
+TEST(SimComm, ReduceClocksDeadRootWithNonContiguousSurvivors) {
+  // Non-contiguous survivor sets are the shape that made the old position
+  // scan land anywhere: {0, 1, 3, 4, 6, 7} with dead roots inside and past
+  // the survivor range.
+  SimComm comm(8);
+  comm.fail(2, 0.0);
+  comm.fail(5, 0.0);
+  EXPECT_THROW(comm.reduce_clocks(2, 20), std::invalid_argument);
+  EXPECT_THROW(comm.reduce_clocks(5, 20), std::invalid_argument);
+  EXPECT_THROW(comm.broadcast(5, 20), std::invalid_argument);
+  // Alive roots anywhere in the survivor list still work, including the
+  // highest one (the old scan's off-by-the-end position).
+  EXPECT_NO_THROW(comm.reduce_clocks(7, 20));
+  EXPECT_NO_THROW(comm.reduce_clocks(0, 20));
+}
+
+TEST(SimComm, ReduceWithDeadRootThrowsAndValuesSurvive) {
+  SimComm comm(5);
+  comm.fail(1, 0.0);
+  std::vector<int> values{1, 2, 3, 4, 5};
+  EXPECT_THROW(comm.reduce(std::span<const int>(values), 1, 4,
+                           [](int a, int b) { return a + b; }),
+               std::invalid_argument);
+  // Reducing to an alive non-zero root skips dead contributions.
+  const int sum =
+      comm.reduce(std::span<const int>(values), 3, 4, [](int a, int b) { return a + b; });
+  EXPECT_EQ(sum, 1 + 3 + 4 + 5);
+}
+
+TEST(SimComm, RecorderCountsCollectivesAndBytes) {
+  obs::Recorder rec;
+  SimComm comm(4);
+  comm.set_recorder(&rec);
+  std::vector<int> values{1, 2, 3, 4};
+  comm.reduce(std::span<const int>(values), 0, 20, [](int a, int b) { return a + b; });
+  comm.broadcast(0, 20);
+  comm.barrier();
+  EXPECT_DOUBLE_EQ(rec.metrics.counter("comm.collectives", {{"op", "reduce"}}).value(), 1.0);
+  EXPECT_DOUBLE_EQ(rec.metrics.counter("comm.collectives", {{"op", "broadcast"}}).value(), 1.0);
+  EXPECT_DOUBLE_EQ(rec.metrics.counter("comm.collectives", {{"op", "barrier"}}).value(), 1.0);
+  EXPECT_DOUBLE_EQ(rec.metrics.counter("comm.collective_bytes", {{"op", "reduce"}}).value(),
+                   20.0);
+  EXPECT_GT(rec.metrics.counter("comm.messages").value(), 0.0);
+  EXPECT_GT(rec.metrics.counter("comm.message_bytes").value(), 0.0);
+  EXPECT_EQ(rec.metrics.histogram("comm.collective_seconds", {{"op", "reduce"}}).count(), 1u);
+}
+
+TEST(SimComm, RecorderDoesNotChangeClocks) {
+  SimComm plain(6);
+  obs::Recorder rec;
+  SimComm observed(6);
+  observed.set_recorder(&rec);
+  for (std::uint32_t r = 0; r < 6; ++r) {
+    plain.compute(r, 0.5 * r);
+    observed.compute(r, 0.5 * r);
+  }
+  std::vector<int> values(6, 1);
+  plain.reduce(std::span<const int>(values), 0, 20, [](int a, int b) { return a + b; });
+  observed.reduce(std::span<const int>(values), 0, 20, [](int a, int b) { return a + b; });
+  plain.broadcast(0, 20);
+  observed.broadcast(0, 20);
+  for (std::uint32_t r = 0; r < 6; ++r) {
+    EXPECT_DOUBLE_EQ(observed.clock(r), plain.clock(r)) << r;
+  }
+}
+
+TEST(SimComm, ReduceClocksMatchesReduceTiming) {
+  // The timing-only walk must price exactly like a value-carrying reduce.
+  SimComm with_values(6);
+  SimComm clocks_only(6);
+  for (std::uint32_t r = 0; r < 6; ++r) {
+    with_values.compute(r, 0.25 * r);
+    clocks_only.compute(r, 0.25 * r);
+  }
+  std::vector<int> values(6, 1);
+  with_values.reduce(std::span<const int>(values), 0, 20, [](int a, int b) { return a + b; });
+  clocks_only.reduce_clocks(0, 20);
+  for (std::uint32_t r = 0; r < 6; ++r) {
+    EXPECT_DOUBLE_EQ(clocks_only.clock(r), with_values.clock(r)) << r;
   }
 }
 

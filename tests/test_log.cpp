@@ -29,7 +29,22 @@ TEST(Log, ParseLevelNames) {
   EXPECT_EQ(parse_level("warn"), Level::kWarn);
   EXPECT_EQ(parse_level("error"), Level::kError);
   EXPECT_EQ(parse_level("off"), Level::kOff);
-  EXPECT_EQ(parse_level("bogus"), Level::kInfo);  // unknown -> info
+}
+
+TEST(Log, ParseLevelRejectsUnknownNames) {
+  // Regression: unknown names used to map silently to kInfo, so a typo like
+  // --log-level=dbug quietly ran at the default verbosity.
+  EXPECT_EQ(parse_level("bogus"), std::nullopt);
+  EXPECT_EQ(parse_level("dbug"), std::nullopt);
+  EXPECT_EQ(parse_level(""), std::nullopt);
+  EXPECT_EQ(parse_level("INFO"), std::nullopt);  // names are case-sensitive
+}
+
+TEST(Log, LevelNamesListsEveryParseableName) {
+  const std::string names{level_names()};
+  for (const char* name : {"trace", "debug", "info", "warn", "error", "off"}) {
+    EXPECT_NE(names.find(name), std::string::npos) << name;
+  }
 }
 
 TEST(Log, MacrosSkipFormattingWhenDisabled) {
@@ -83,6 +98,48 @@ TEST(Log, FormatEventIsMachineParseable) {
   EXPECT_EQ(format_event("note", {field("msg", std::string("two words"))}),
             "note msg=\"two words\"");
   EXPECT_EQ(format_event("bare", {}), "bare");
+}
+
+TEST(Log, FormatEventQuotesAndEscapesHostileValues) {
+  // Regression: a value containing '"' used to be emitted verbatim inside
+  // quotes, and a value containing '=' was emitted unquoted — both corrupt
+  // the record for any key=value consumer.
+  EXPECT_EQ(format_event("note", {field("msg", std::string("say \"hi\""))}),
+            "note msg=\"say \\\"hi\\\"\"");
+  EXPECT_EQ(format_event("note", {field("expr", std::string("a=b"))}),
+            "note expr=\"a=b\"");
+  EXPECT_EQ(format_event("note", {field("path", std::string("c:\\tmp"))}),
+            "note path=\"c:\\\\tmp\"");
+  EXPECT_EQ(format_event("note", {field("text", std::string("line1\nline2"))}),
+            "note text=\"line1\\nline2\"");
+  EXPECT_EQ(format_event("note", {field("empty", std::string())}), "note empty=\"\"");
+}
+
+TEST(Log, FormatParseEventRoundTrip) {
+  const std::vector<Fields> cases = {
+      {field("rank", 3u), field("t", 2.5)},
+      {field("msg", std::string("two words"))},
+      {field("msg", std::string("say \"hi\"")), field("expr", std::string("a=b"))},
+      {field("path", std::string("c:\\tmp\nnext"))},
+      {field("empty", std::string()), field("tab", std::string("a\tb"))},
+      {},
+  };
+  for (const Fields& fields : cases) {
+    const std::string record = format_event("evt.name", fields);
+    const auto parsed = parse_event(record);
+    ASSERT_TRUE(parsed.has_value()) << record;
+    EXPECT_EQ(parsed->event, "evt.name") << record;
+    EXPECT_EQ(parsed->fields, fields) << record;
+  }
+}
+
+TEST(Log, ParseEventRejectsMalformedRecords) {
+  EXPECT_EQ(parse_event(""), std::nullopt);
+  EXPECT_EQ(parse_event("evt k"), std::nullopt);              // no '='
+  EXPECT_EQ(parse_event("evt k=\"unterminated"), std::nullopt);
+  EXPECT_EQ(parse_event("evt k=a\"b"), std::nullopt);         // bare quote
+  EXPECT_EQ(parse_event("evt  k=v"), std::nullopt);           // double space
+  EXPECT_EQ(parse_event("evt k=\"bad\\q\""), std::nullopt);   // unknown escape
 }
 
 TEST(Log, EmitEventReachesSinkStructured) {

@@ -1,0 +1,302 @@
+#include "obs/recorder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "cluster/distributed.hpp"
+#include "data/generator.hpp"
+#include "obs/bench.hpp"
+#include "util/stats.hpp"
+
+namespace multihit {
+namespace {
+
+using obs::JsonValue;
+
+// ---------------------------------------------------------------- JSON model
+
+TEST(ObsJson, DumpParseRoundTrip) {
+  JsonValue doc = JsonValue::object();
+  doc.set("name", JsonValue("multi\"hit\n"));
+  doc.set("count", JsonValue(42.0));
+  doc.set("ratio", JsonValue(0.1));
+  doc.set("on", JsonValue(true));
+  doc.set("none", JsonValue());
+  JsonValue arr = JsonValue::array();
+  arr.push_back(JsonValue(1.0));
+  arr.push_back(JsonValue(-2.5));
+  doc.set("values", std::move(arr));
+
+  const std::string text = doc.dump();
+  const JsonValue parsed = JsonValue::parse(text);
+  EXPECT_EQ(parsed.dump(), text);  // dump is a fixed point
+  EXPECT_EQ(parsed.find("name")->as_string(), "multi\"hit\n");
+  EXPECT_DOUBLE_EQ(parsed.find("ratio")->as_number(), 0.1);
+  EXPECT_TRUE(parsed.find("on")->as_bool());
+  EXPECT_EQ(parsed.find("values")->size(), 2u);
+}
+
+TEST(ObsJson, ParseRejectsMalformedDocuments) {
+  EXPECT_THROW(JsonValue::parse(""), obs::JsonParseError);
+  EXPECT_THROW(JsonValue::parse("{"), obs::JsonParseError);
+  EXPECT_THROW(JsonValue::parse("{\"a\":1,}"), obs::JsonParseError);
+  EXPECT_THROW(JsonValue::parse("[1 2]"), obs::JsonParseError);
+  EXPECT_THROW(JsonValue::parse("\"unterminated"), obs::JsonParseError);
+  EXPECT_THROW(JsonValue::parse("nul"), obs::JsonParseError);
+  EXPECT_THROW(JsonValue::parse("{} trailing"), obs::JsonParseError);
+}
+
+TEST(ObsJson, ObjectsPreserveInsertionOrder) {
+  JsonValue doc = JsonValue::object();
+  doc.set("z", JsonValue(1.0));
+  doc.set("a", JsonValue(2.0));
+  EXPECT_EQ(doc.dump(), "{\"z\":1,\"a\":2}");
+}
+
+// ------------------------------------------------------------------- metrics
+
+TEST(ObsMetrics, CounterIsMonotone) {
+  obs::MetricsRegistry registry;
+  obs::Counter& c = registry.counter("events");
+  c.add(2.0);
+  c.add();
+  EXPECT_DOUBLE_EQ(c.value(), 3.0);
+  EXPECT_THROW(c.add(-1.0), std::invalid_argument);
+  EXPECT_DOUBLE_EQ(c.value(), 3.0);
+}
+
+TEST(ObsMetrics, LabeledSeriesAreSeparateAndOrderInsensitive) {
+  obs::MetricsRegistry registry;
+  registry.counter("ops", {{"op", "reduce"}}).add(1.0);
+  registry.counter("ops", {{"op", "broadcast"}}).add(5.0);
+  EXPECT_DOUBLE_EQ(registry.counter("ops", {{"op", "reduce"}}).value(), 1.0);
+  // Label order never creates a new series: labels are canonicalized.
+  registry.counter("multi", {{"a", "1"}, {"b", "2"}}).add(1.0);
+  registry.counter("multi", {{"b", "2"}, {"a", "1"}}).add(1.0);
+  EXPECT_DOUBLE_EQ(registry.counter("multi", {{"a", "1"}, {"b", "2"}}).value(), 2.0);
+}
+
+TEST(ObsMetrics, KindMismatchThrows) {
+  obs::MetricsRegistry registry;
+  registry.counter("x").add(1.0);
+  EXPECT_THROW(registry.gauge("x"), std::invalid_argument);
+  EXPECT_THROW(registry.histogram("x"), std::invalid_argument);
+}
+
+TEST(ObsMetrics, HistogramPercentileMatchesStats) {
+  obs::MetricsRegistry registry;
+  obs::Histogram& h = registry.histogram("lat");
+  std::vector<double> samples;
+  for (int i = 0; i < 37; ++i) {
+    const double v = (i * 7919 % 101) * 0.25;
+    samples.push_back(v);
+    h.observe(v);
+  }
+  for (const double p : {0.0, 10.0, 50.0, 90.0, 99.0, 100.0}) {
+    EXPECT_DOUBLE_EQ(h.percentile(p), stats::percentile(samples, p)) << p;
+  }
+  EXPECT_EQ(h.count(), samples.size());
+  EXPECT_THROW(h.observe(std::numeric_limits<double>::quiet_NaN()), std::invalid_argument);
+}
+
+TEST(ObsMetrics, SnapshotSchemaRoundTrips) {
+  obs::MetricsRegistry registry;
+  registry.counter("comm.messages", {{"op", "reduce"}}).add(4.0);
+  registry.gauge("alive").set(7.0);
+  registry.histogram("secs").observe(1.5);
+  registry.histogram("secs").observe(2.5);
+
+  const JsonValue parsed = JsonValue::parse(registry.to_json());
+  EXPECT_EQ(parsed.find("schema")->as_string(), obs::kMetricsSchema);
+  const JsonValue* counters = parsed.find("counters");
+  ASSERT_NE(counters, nullptr);
+  ASSERT_EQ(counters->size(), 1u);
+  EXPECT_EQ(counters->at(0).find("name")->as_string(), "comm.messages");
+  EXPECT_EQ(counters->at(0).find("labels")->find("op")->as_string(), "reduce");
+  EXPECT_DOUBLE_EQ(counters->at(0).find("value")->as_number(), 4.0);
+  const JsonValue* hists = parsed.find("histograms");
+  ASSERT_NE(hists, nullptr);
+  EXPECT_DOUBLE_EQ(hists->at(0).find("count")->as_number(), 2.0);
+  EXPECT_DOUBLE_EQ(hists->at(0).find("sum")->as_number(), 4.0);
+  EXPECT_DOUBLE_EQ(hists->at(0).find("p50")->as_number(), 2.0);
+}
+
+// -------------------------------------------------------------------- tracer
+
+TEST(ObsTrace, RejectsBackwardsSpans) {
+  obs::Tracer tracer;
+  EXPECT_THROW(tracer.complete(0, "bad", "test", 2.0, 1.0), std::invalid_argument);
+  EXPECT_NO_THROW(tracer.complete(0, "ok", "test", 1.0, 1.0));
+}
+
+TEST(ObsTrace, PerLaneMonotoneDetectsViolations) {
+  obs::Tracer ok;
+  ok.complete(0, "a", "t", 0.0, 2.0);
+  ok.complete(0, "b", "t", 1.0, 3.0);
+  ok.complete(1, "c", "t", 0.5, 0.75);  // other lanes are independent
+  EXPECT_TRUE(ok.per_lane_monotone());
+
+  obs::Tracer bad;
+  bad.complete(0, "a", "t", 1.0, 2.0);
+  bad.complete(0, "b", "t", 0.5, 3.0);
+  EXPECT_FALSE(bad.per_lane_monotone());
+}
+
+TEST(ObsTrace, ChromeTraceShapeAndMicroseconds) {
+  obs::Tracer tracer;
+  tracer.set_lane_name(3, "rank 3");
+  tracer.complete(3, "compute", "compute", 0.5, 1.5, {{"iteration", "0"}});
+  tracer.instant(3, "fault.crash", "fault", 1.25);
+
+  const JsonValue doc = JsonValue::parse(tracer.to_chrome_json());
+  EXPECT_EQ(doc.find("displayTimeUnit")->as_string(), "ms");
+  const JsonValue* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+
+  bool saw_meta = false, saw_span = false, saw_instant = false;
+  for (std::size_t i = 0; i < events->size(); ++i) {
+    const JsonValue& e = events->at(i);
+    const std::string ph = e.find("ph")->as_string();
+    if (ph == "M" && e.find("name")->as_string() == "thread_name") {
+      saw_meta = e.find("args")->find("name")->as_string() == "rank 3";
+    } else if (ph == "X") {
+      saw_span = true;
+      EXPECT_DOUBLE_EQ(e.find("ts")->as_number(), 0.5e6);   // microseconds
+      EXPECT_DOUBLE_EQ(e.find("dur")->as_number(), 1.0e6);
+      EXPECT_DOUBLE_EQ(e.find("tid")->as_number(), 3.0);
+      EXPECT_EQ(e.find("args")->find("iteration")->as_string(), "0");
+    } else if (ph == "i") {
+      saw_instant = true;
+      EXPECT_DOUBLE_EQ(e.find("ts")->as_number(), 1.25e6);
+    }
+  }
+  EXPECT_TRUE(saw_meta);
+  EXPECT_TRUE(saw_span);
+  EXPECT_TRUE(saw_instant);
+}
+
+// ------------------------------------------------------------ bench reporter
+
+TEST(ObsBench, RecordSchemaAndEnvOutputDir) {
+  obs::BenchReporter reporter("unit_test");
+  reporter.series("total_time", 12.5, "s");
+  reporter.series("efficiency", 0.9);
+  reporter.metrics().counter("work").add(3.0);
+
+  const JsonValue record = reporter.record();
+  EXPECT_EQ(record.find("schema")->as_string(), obs::kBenchSchema);
+  EXPECT_EQ(record.find("bench")->as_string(), "unit_test");
+  const JsonValue* series = record.find("series");
+  ASSERT_NE(series, nullptr);
+  ASSERT_EQ(series->size(), 2u);
+  EXPECT_EQ(series->at(0).find("name")->as_string(), "total_time");
+  EXPECT_DOUBLE_EQ(series->at(0).find("value")->as_number(), 12.5);
+  EXPECT_EQ(series->at(0).find("unit")->as_string(), "s");
+  EXPECT_EQ(record.find("metrics")->find("schema")->as_string(), obs::kMetricsSchema);
+
+  std::string dir = ::testing::TempDir();
+  if (!dir.empty() && dir.back() == '/') dir.pop_back();
+  ::setenv("MULTIHIT_BENCH_DIR", dir.c_str(), 1);
+  EXPECT_EQ(reporter.path(), dir + "/BENCH_unit_test.json");
+  ASSERT_TRUE(reporter.write());
+  ::unsetenv("MULTIHIT_BENCH_DIR");
+
+  std::ifstream in(dir + "/BENCH_unit_test.json");
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const JsonValue reread = JsonValue::parse(buffer.str());
+  EXPECT_EQ(reread.dump(), record.dump());
+}
+
+// --------------------------------------------------- end-to-end differential
+
+Dataset obs_dataset(std::uint64_t seed) {
+  SyntheticSpec spec;
+  spec.genes = 30;
+  spec.tumor_samples = 70;
+  spec.normal_samples = 50;
+  spec.hits = 4;
+  spec.num_combinations = 3;
+  spec.background_rate = 0.015;
+  spec.seed = seed;
+  return generate_dataset(spec);
+}
+
+TEST(ObsDifferential, TracingLeavesRunBitIdentical) {
+  // The acceptance invariant: a null recorder and an attached recorder yield
+  // the same selections and the same modeled clocks — instrumentation reads
+  // simulated time, it never advances it.
+  const Dataset data = obs_dataset(901);
+  SummitConfig config;
+  config.nodes = 5;
+
+  DistributedOptions plain;
+  DistributedOptions observed;
+  obs::Recorder rec;
+  observed.recorder = &rec;
+  // Exercise the fault paths too (crash recovery + drops + checkpoints).
+  FaultPlan plan;
+  plan.events.push_back({FaultKind::kRankCrash, 2, 1, 0.5, 1});
+  plan.events.push_back({FaultKind::kMessageDrop, 1, 0, 0.5, 2});
+  plain.faults = plan;
+  observed.faults = plan;
+  plain.checkpoint_every = 2;
+  observed.checkpoint_every = 2;
+
+  const ClusterRunner runner(config);
+  const ClusterRunResult a = runner.run(data, plain);
+  const ClusterRunResult b = runner.run(data, observed);
+
+  ASSERT_EQ(a.greedy.iterations.size(), b.greedy.iterations.size());
+  for (std::size_t i = 0; i < a.greedy.iterations.size(); ++i) {
+    EXPECT_EQ(a.greedy.iterations[i].genes, b.greedy.iterations[i].genes) << i;
+  }
+  EXPECT_DOUBLE_EQ(a.total_time, b.total_time);
+  EXPECT_DOUBLE_EQ(a.schedule_time, b.schedule_time);
+  EXPECT_DOUBLE_EQ(a.recovery_time, b.recovery_time);
+  ASSERT_EQ(a.iterations.size(), b.iterations.size());
+  for (std::size_t i = 0; i < a.iterations.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.iterations[i].iteration_time, b.iterations[i].iteration_time) << i;
+  }
+
+  // The recorder actually observed the run, and its trace is well-formed.
+  EXPECT_FALSE(rec.trace.empty());
+  EXPECT_TRUE(rec.trace.per_lane_monotone());
+  EXPECT_GT(rec.metrics.counter("cluster.iterations").value(), 0.0);
+  EXPECT_GT(rec.metrics.counter("engine.iterations").value(), 0.0);
+  EXPECT_GT(rec.metrics.counter("gpu.kernel_launches").value(), 0.0);
+  EXPECT_GT(rec.metrics.counter("comm.collectives", {{"op", "reduce"}}).value(), 0.0);
+  EXPECT_DOUBLE_EQ(rec.metrics.counter("cluster.ranks_lost").value(), 1.0);
+  EXPECT_DOUBLE_EQ(rec.metrics.counter("fault.events", {{"kind", "crash"}}).value(), 1.0);
+  EXPECT_NO_THROW(JsonValue::parse(rec.trace.to_chrome_json()));
+  EXPECT_NO_THROW(JsonValue::parse(rec.metrics.to_json()));
+}
+
+TEST(ObsDifferential, RepeatedInstrumentedRunsAreByteIdentical) {
+  // Determinism end-to-end: the exported artifacts of two identical runs are
+  // byte-identical (simulated clocks only, ordered registry, ordered JSON).
+  const Dataset data = obs_dataset(902);
+  SummitConfig config;
+  config.nodes = 3;
+  const ClusterRunner runner(config);
+
+  const auto artifacts = [&] {
+    obs::Recorder rec;
+    DistributedOptions options;
+    options.recorder = &rec;
+    options.max_iterations = 3;
+    runner.run(data, options);
+    return std::pair{rec.metrics.to_json(), rec.trace.to_chrome_json()};
+  };
+  const auto [metrics_a, trace_a] = artifacts();
+  const auto [metrics_b, trace_b] = artifacts();
+  EXPECT_EQ(metrics_a, metrics_b);
+  EXPECT_EQ(trace_a, trace_b);
+}
+
+}  // namespace
+}  // namespace multihit
