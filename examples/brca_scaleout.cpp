@@ -3,13 +3,17 @@
 //   $ ./examples/brca_scaleout [nodes] [--crash R@I[:F]] [--straggle R@I:F]
 //                              [--drop R@I:N] [--checkpoint N]
 //                              [--trace-out FILE] [--metrics-out FILE]
-//                              [--log-level LEVEL]
+//                              [--report-out FILE] [--log-level LEVEL]
 //
 // Observability: `--trace-out run.trace.json` writes a Chrome trace-event
 // file of the functional run (open at https://ui.perfetto.dev — one lane per
-// MPI rank plus engine/scheduler lanes), `--metrics-out run.metrics.json`
-// writes the metrics-registry snapshot. Both are deterministic: timestamps
-// are simulated seconds, so identical runs produce byte-identical files.
+// MPI rank plus engine/scheduler lanes, message-flow arrows between ranks),
+// `--metrics-out run.metrics.json` writes the metrics-registry snapshot, and
+// `--report-out run.report.json` runs the trace analytics engine in-process
+// and writes the multihit.analysis.v1 report (critical path, per-phase
+// imbalance, comm overhead — same engine as `multihit-obstool analyze`).
+// All are deterministic: timestamps are simulated seconds, so identical runs
+// produce byte-identical files.
 //
 // Part 1 runs the *functional* distributed pipeline (equi-area schedule ->
 // per-GPU maxF + parallelReduceMax -> node merge -> MPI reduce) on a
@@ -33,12 +37,14 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 
 #include "cluster/distributed.hpp"
 #include "cluster/scaling.hpp"
 #include "core/engine.hpp"
 #include "data/registry.hpp"
+#include "obs/analyze.hpp"
 #include "obs/recorder.hpp"
 #include "util/log.hpp"
 #include "util/table.hpp"
@@ -49,7 +55,7 @@ namespace {
   std::cerr << "usage: brca_scaleout [nodes] [--crash R@I[:F]] [--straggle R@I:F]\n"
                "                     [--drop R@I:N] [--checkpoint N]\n"
                "                     [--trace-out FILE] [--metrics-out FILE]\n"
-               "                     [--log-level LEVEL]\n";
+               "                     [--report-out FILE] [--log-level LEVEL]\n";
   std::exit(1);
 }
 
@@ -59,7 +65,7 @@ int main(int argc, char** argv) {
   using namespace multihit;
   std::uint32_t nodes = 4;
   DistributedOptions options;  // 4-hit, 3x1, EA, both prefetches, splicing
-  std::string trace_out, metrics_out;
+  std::string trace_out, metrics_out, report_out;
 
   for (int a = 1; a < argc; ++a) {
     const std::string arg = argv[a];
@@ -87,6 +93,8 @@ int main(int argc, char** argv) {
       trace_out = next();
     } else if (arg == "--metrics-out") {
       metrics_out = next();
+    } else if (arg == "--report-out") {
+      report_out = next();
     } else if (arg == "--log-level") {
       const char* name = next();
       const auto level = log::parse_level(name);
@@ -132,7 +140,9 @@ int main(int argc, char** argv) {
   config.nodes = nodes;
   const ClusterRunner runner(config);
   obs::Recorder recorder;
-  if (!trace_out.empty() || !metrics_out.empty()) options.recorder = &recorder;
+  if (!trace_out.empty() || !metrics_out.empty() || !report_out.empty()) {
+    options.recorder = &recorder;
+  }
   ClusterRunResult distributed;
   try {
     distributed = runner.run(data, options);
@@ -155,6 +165,19 @@ int main(int argc, char** argv) {
     }
     std::cout << "  metrics written to " << metrics_out << " ("
               << recorder.metrics.series_count() << " series)\n";
+  }
+  if (!report_out.empty()) {
+    const obs::TraceAnalysis analysis = obs::analyze_trace(recorder.trace);
+    const obs::JsonValue metrics_doc = recorder.metrics.snapshot();
+    std::ofstream out(report_out);
+    if (out) out << obs::analysis_report(analysis, &metrics_doc).dump() << '\n';
+    if (!out) {
+      std::cerr << "error: cannot write analysis report to " << report_out << "\n";
+      return 1;
+    }
+    std::cout << "  analysis report written to " << report_out << " (critical path "
+              << analysis.critical_total << " s, comm overhead "
+              << analysis.comm_fraction * 100.0 << "%)\n";
   }
 
   EngineConfig serial_config;

@@ -1,0 +1,105 @@
+// multihit-obstool: offline analysis of saved observability artifacts.
+//
+//   $ multihit-obstool analyze run.trace.json [run.metrics.json]
+//                      [--report-out FILE] [--folded-out FILE] [--quiet]
+//
+// Loads a --trace-out Chrome trace (and optionally a --metrics-out snapshot),
+// runs the trace analytics engine (critical path, per-phase imbalance, comm
+// overhead — see src/obs/analyze.hpp), and prints the human-readable
+// summary. `--report-out` writes the multihit.analysis.v1 JSON report,
+// `--folded-out` writes collapsed flamegraph stacks (flamegraph.pl /
+// speedscope format). All outputs are deterministic: analyzing the same
+// files twice produces byte-identical artifacts, which scripts/ci.sh uses as
+// the determinism gate.
+//
+// Exit status: 0 on success, 1 on unreadable/malformed/ill-shaped inputs or
+// unwritable outputs.
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "obs/analyze.hpp"
+
+namespace {
+
+[[noreturn]] void usage() {
+  std::cerr << "usage: multihit-obstool analyze TRACE.json [METRICS.json]\n"
+               "                        [--report-out FILE] [--folded-out FILE] [--quiet]\n";
+  std::exit(1);
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot read " + path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+bool write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << content;
+  return static_cast<bool>(out);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace multihit::obs;
+  if (argc < 3 || std::string(argv[1]) != "analyze") usage();
+
+  std::string trace_path, metrics_path, report_out, folded_out;
+  bool quiet = false;
+  for (int a = 2; a < argc; ++a) {
+    const std::string arg = argv[a];
+    const auto next = [&]() -> const char* {
+      if (a + 1 >= argc) usage();
+      return argv[++a];
+    };
+    if (arg == "--report-out") {
+      report_out = next();
+    } else if (arg == "--folded-out") {
+      folded_out = next();
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      usage();
+    } else if (trace_path.empty()) {
+      trace_path = arg;
+    } else if (metrics_path.empty()) {
+      metrics_path = arg;
+    } else {
+      usage();
+    }
+  }
+  if (trace_path.empty()) usage();
+
+  try {
+    const JsonValue trace_doc = JsonValue::parse(read_file(trace_path));
+    const Tracer tracer = tracer_from_chrome(trace_doc);
+
+    JsonValue metrics_doc;
+    if (!metrics_path.empty()) metrics_doc = JsonValue::parse(read_file(metrics_path));
+
+    const TraceAnalysis analysis = analyze_trace(tracer);
+    const JsonValue report =
+        analysis_report(analysis, metrics_path.empty() ? nullptr : &metrics_doc);
+
+    if (!report_out.empty() && !write_file(report_out, report.dump() + "\n")) {
+      std::cerr << "error: cannot write report to " << report_out << "\n";
+      return 1;
+    }
+    if (!folded_out.empty() && !write_file(folded_out, folded_stacks(tracer))) {
+      std::cerr << "error: cannot write folded stacks to " << folded_out << "\n";
+      return 1;
+    }
+    if (!quiet) std::cout << analysis_text(analysis);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

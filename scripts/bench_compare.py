@@ -8,7 +8,9 @@ gate over that trajectory:
 
   1. every record must parse and carry the expected schema/fields;
   2. every series present in the matching bench/baselines/BENCH_<name>.json
-     is compared, and a relative delta beyond --threshold is reported.
+     is compared, and a relative delta beyond --threshold is reported;
+  3. series in the record but absent from the baseline are reported as NEW —
+     unbaselined measurements silently escape the gate otherwise.
 
 By default drift only warns (exit 0) so modeled-time refinements don't block
 CI; --strict turns schema violations AND drift into a non-zero exit for
@@ -79,7 +81,7 @@ def series_map(record: dict) -> dict[str, float]:
 
 
 def compare(path: str, record: dict, baseline_dir: str, threshold: float,
-            drift: list[str]) -> None:
+            drift: list[str], unbaselined: list[str]) -> None:
     baseline_path = os.path.join(baseline_dir, f"BENCH_{record['bench']}.json")
     if not os.path.exists(baseline_path):
         warn(f"{path}: no baseline at {baseline_path} (skipping comparison)")
@@ -88,7 +90,8 @@ def compare(path: str, record: dict, baseline_dir: str, threshold: float,
         baseline = json.load(handle)
 
     current = series_map(record)
-    for name, base_value in sorted(series_map(baseline).items()):
+    base = series_map(baseline)
+    for name, base_value in sorted(base.items()):
         if name not in current:
             drift.append(f"{record['bench']}: series {name!r} disappeared")
             continue
@@ -102,6 +105,9 @@ def compare(path: str, record: dict, baseline_dir: str, threshold: float,
               f"{value:.6g} ({delta:+.2%})")
         if delta > threshold:
             drift.append(f"{record['bench']}.{name}: {base_value:.6g} -> {value:.6g}")
+    for name in sorted(set(current) - set(base)):
+        print(f"  NEW   {record['bench']}.{name}: {current[name]:.6g} (no baseline)")
+        unbaselined.append(f"{record['bench']}.{name}: {current[name]:.6g}")
 
 
 def main() -> int:
@@ -111,26 +117,33 @@ def main() -> int:
     parser.add_argument("--threshold", type=float, default=0.10,
                         help="relative drift that counts as a regression (default 0.10)")
     parser.add_argument("--strict", action="store_true",
-                        help="exit non-zero on schema errors or drift (default: warn only)")
+                        help="exit non-zero on schema errors, drift, or unbaselined "
+                             "series (default: warn only)")
     args = parser.parse_args()
 
     errors: list[str] = []
     drift: list[str] = []
+    unbaselined: list[str] = []
     for path in args.files:
         record = validate(path, errors)
         if record is None:
             continue
         print(f"{path}: valid {SCHEMA} record for bench {record['bench']!r} "
               f"({len(record['series'])} series)")
-        compare(path, record, args.baseline_dir, args.threshold, drift)
+        compare(path, record, args.baseline_dir, args.threshold, drift, unbaselined)
 
     if drift:
         warn(f"{len(drift)} series drifted beyond {args.threshold:.0%}:")
         for line in drift:
             print(f"  {line}", file=sys.stderr)
+    if unbaselined:
+        warn(f"{len(unbaselined)} series have no baseline entry "
+             "(add them to the baseline record):")
+        for line in unbaselined:
+            print(f"  {line}", file=sys.stderr)
     if errors:
         return 1
-    if drift and args.strict:
+    if (drift or unbaselined) and args.strict:
         return 2
     return 0
 

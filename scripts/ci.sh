@@ -36,4 +36,30 @@ else
   echo "python3 not found; skipping BENCH schema validation" >&2
 fi
 
+# Trace-analysis smoke: a faulty instrumented run, the obstool pipeline on
+# its artifacts, and the determinism gate — analyzing the same trace twice
+# (and re-running the instrumented binary) must produce byte-identical
+# reports and folded files. Any parse/schema error fails (obstool exits 1).
+obs_dir="build/obs_smoke"
+mkdir -p "$obs_dir"
+echo "=== trace analysis smoke ==="
+for run in 1 2; do
+  build/examples/brca_scaleout 4 --crash 1@0 --checkpoint 2 \
+    --trace-out "$obs_dir/run$run.trace.json" \
+    --metrics-out "$obs_dir/run$run.metrics.json" \
+    --report-out "$obs_dir/run$run.report.json" > /dev/null
+done
+cmp "$obs_dir/run1.trace.json" "$obs_dir/run2.trace.json"
+cmp "$obs_dir/run1.report.json" "$obs_dir/run2.report.json"
+for pass in 1 2; do
+  build/examples/multihit-obstool analyze \
+    "$obs_dir/run1.trace.json" "$obs_dir/run1.metrics.json" \
+    --report-out "$obs_dir/pass$pass.report.json" \
+    --folded-out "$obs_dir/pass$pass.folded" > /dev/null
+done
+cmp "$obs_dir/pass1.report.json" "$obs_dir/pass2.report.json"
+cmp "$obs_dir/pass1.folded" "$obs_dir/pass2.folded"
+build/examples/multihit-obstool analyze "$obs_dir/run1.trace.json"
+echo "trace analysis deterministic (in-process and offline)"
+
 echo "=== all presets green ==="

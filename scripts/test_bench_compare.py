@@ -1,0 +1,149 @@
+#!/usr/bin/env python3
+"""Self-test for scripts/bench_compare.py — exit-code contract over fixtures.
+
+bench_compare.py is itself a CI gate, so its exit codes ARE its API: ci.sh and
+perf-gate jobs branch on them. This test builds small multihit.bench.v1
+fixtures in a tempdir and asserts the full matrix:
+
+  valid record matching its baseline          -> 0 (default and --strict)
+  bad schema / unreadable JSON                -> 1 (always)
+  drifting series                             -> 0 default, 2 --strict
+  disappeared series (in baseline, not run)   -> 0 default, 2 --strict
+  new series (in run, not baseline)           -> 0 default + NEW warn, 2 --strict
+
+Run directly (`python3 scripts/test_bench_compare.py`) or via ctest
+(`ctest -R bench_compare`). No third-party dependencies.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+SCRIPT = os.path.join(os.path.dirname(os.path.abspath(__file__)), "bench_compare.py")
+
+EMPTY_METRICS = {"schema": "multihit.metrics.v1", "counters": [], "gauges": [],
+                 "histograms": []}
+
+
+def bench_record(name: str, series: dict[str, float]) -> dict:
+    return {
+        "schema": "multihit.bench.v1",
+        "bench": name,
+        "series": [{"name": k, "value": v} for k, v in series.items()],
+        "metrics": EMPTY_METRICS,
+    }
+
+
+def write_json(path: str, doc: dict) -> str:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(doc, handle)
+    return path
+
+
+def run(args: list[str]) -> subprocess.CompletedProcess:
+    return subprocess.run([sys.executable, SCRIPT, *args],
+                          capture_output=True, text=True)
+
+
+def check(label: str, proc: subprocess.CompletedProcess, expect_code: int,
+          expect_in_output: list[str] | None = None) -> list[str]:
+    failures = []
+    if proc.returncode != expect_code:
+        failures.append(f"{label}: exit {proc.returncode}, expected {expect_code}\n"
+                        f"  stdout: {proc.stdout!r}\n  stderr: {proc.stderr!r}")
+    combined = proc.stdout + proc.stderr
+    for needle in expect_in_output or []:
+        if needle not in combined:
+            failures.append(f"{label}: output missing {needle!r}\n"
+                            f"  stdout: {proc.stdout!r}\n  stderr: {proc.stderr!r}")
+    for line in failures:
+        print(f"FAIL {line}", file=sys.stderr)
+    if not failures:
+        print(f"ok   {label}")
+    return failures
+
+
+def main() -> int:
+    failures: list[str] = []
+    with tempfile.TemporaryDirectory(prefix="bench_compare_test.") as tmp:
+        baseline_dir = os.path.join(tmp, "baselines")
+        os.makedirs(baseline_dir)
+        write_json(os.path.join(baseline_dir, "BENCH_scaling.json"),
+                   bench_record("scaling", {"time_100": 10.0, "time_1000": 1.2}))
+        base_args = ["--baseline-dir", baseline_dir]
+
+        # 1. Valid record, matching baseline: clean pass in both modes.
+        matching = write_json(os.path.join(tmp, "BENCH_match.json"),
+                              bench_record("scaling",
+                                           {"time_100": 10.0, "time_1000": 1.2}))
+        failures += check("matching/default", run([*base_args, matching]), 0,
+                          ["valid multihit.bench.v1", "ok   "])
+        failures += check("matching/strict",
+                          run([*base_args, "--strict", matching]), 0)
+
+        # 2. Schema violations: always exit 1, strict or not.
+        bad_schema = write_json(os.path.join(tmp, "BENCH_bad.json"),
+                                {"schema": "bogus.v9", "bench": "scaling",
+                                 "series": [{"name": "t", "value": 1.0}],
+                                 "metrics": EMPTY_METRICS})
+        failures += check("bad-schema/default", run([*base_args, bad_schema]), 1,
+                          ["ERROR"])
+        not_json = os.path.join(tmp, "BENCH_garbage.json")
+        with open(not_json, "w", encoding="utf-8") as handle:
+            handle.write("{not json")
+        failures += check("not-json/default", run([*base_args, not_json]), 1,
+                          ["ERROR"])
+
+        # 3. Drift beyond the 10% default threshold: warn by default, 2 strict.
+        drifting = write_json(os.path.join(tmp, "BENCH_drift.json"),
+                              bench_record("scaling",
+                                           {"time_100": 15.0, "time_1000": 1.2}))
+        failures += check("drift/default", run([*base_args, drifting]), 0,
+                          ["DRIFT", "drifted beyond"])
+        failures += check("drift/strict",
+                          run([*base_args, "--strict", drifting]), 2, ["DRIFT"])
+        failures += check("drift/wide-threshold",
+                          run([*base_args, "--strict", "--threshold", "0.60",
+                               drifting]), 0)
+
+        # 4. A baselined series that vanished from the run counts as drift.
+        disappeared = write_json(os.path.join(tmp, "BENCH_gone.json"),
+                                 bench_record("scaling", {"time_100": 10.0}))
+        failures += check("disappeared/default", run([*base_args, disappeared]), 0,
+                          ["disappeared"])
+        failures += check("disappeared/strict",
+                          run([*base_args, "--strict", disappeared]), 2,
+                          ["disappeared"])
+
+        # 5. A run series absent from the baseline is reported as NEW; strict
+        # refuses it until the baseline is updated.
+        new_series = write_json(
+            os.path.join(tmp, "BENCH_new.json"),
+            bench_record("scaling", {"time_100": 10.0, "time_1000": 1.2,
+                                     "time_2000": 0.7}))
+        failures += check("new-series/default", run([*base_args, new_series]), 0,
+                          ["NEW", "no baseline entry"])
+        failures += check("new-series/strict",
+                          run([*base_args, "--strict", new_series]), 2, ["NEW"])
+
+        # 6. A record whose bench has no baseline file at all still passes
+        # (warn-and-skip), even under --strict.
+        unmatched = write_json(os.path.join(tmp, "BENCH_other.json"),
+                               bench_record("nobaseline", {"t": 1.0}))
+        failures += check("no-baseline-file/strict",
+                          run([*base_args, "--strict", unmatched]), 0,
+                          ["no baseline at"])
+
+    if failures:
+        print(f"{len(failures)} failure(s)", file=sys.stderr)
+        return 1
+    print("all bench_compare self-tests passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

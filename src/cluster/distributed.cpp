@@ -116,10 +116,11 @@ ClusterRunResult ClusterRunner::run(const Dataset& data,
   const auto snap_clocks = [&] {
     for (std::uint32_t r = 0; r < config_.nodes; ++r) clock_snap[r] = comm.clock(r);
   };
-  const auto emit_clock_spans = [&](const char* name, const char* category) {
+  const auto emit_clock_spans = [&](const char* name, const char* category,
+                                    obs::SpanArgs args = {}) {
     for (std::uint32_t r = 0; r < config_.nodes; ++r) {
       if (comm.clock(r) > clock_snap[r]) {
-        rec->trace.complete(r, name, category, clock_snap[r], comm.clock(r));
+        rec->trace.complete(r, name, category, clock_snap[r], comm.clock(r), args);
       }
     }
   };
@@ -252,7 +253,7 @@ ClusterRunResult ClusterRunner::run(const Dataset& data,
     EvalResult best =
         comm.reduce(std::span<const EvalResult>(rank_candidates), root, kCandidateBytes,
                     [](const EvalResult& a, const EvalResult& b) { return merge_results(a, b); });
-    if (rec) emit_clock_spans("mpi_reduce", "comm");
+    if (rec) emit_clock_spans("mpi_reduce", "comm", {{"iteration", std::to_string(iter)}});
 
     // --- recovery: re-partition over the survivors and re-run the lost λ
     // ranges. The new equi-area schedule covers [0, total), so intersecting
@@ -272,7 +273,7 @@ ClusterRunResult ClusterRunner::run(const Dataset& data,
         snap_clocks();
       }
       comm.broadcast(root, 8);  // root announces the re-partition
-      if (rec) emit_clock_spans("mpi_broadcast", "comm");
+      if (rec) emit_clock_spans("mpi_broadcast", "comm", {{"iteration", std::to_string(iter)}});
 
       std::vector<EvalResult> recovery(config_.nodes);
       for (std::uint32_t pos = 0; pos < survivors.size(); ++pos) {
@@ -308,7 +309,7 @@ ClusterRunResult ClusterRunner::run(const Dataset& data,
                             [](const EvalResult& a, const EvalResult& b) {
                               return merge_results(a, b);
                             }));
-      if (rec) emit_clock_spans("mpi_reduce", "comm");
+      if (rec) emit_clock_spans("mpi_reduce", "comm", {{"iteration", std::to_string(iter)}});
       schedule = std::move(next_schedule);
 
       const double recovered =
@@ -325,7 +326,7 @@ ClusterRunResult ClusterRunner::run(const Dataset& data,
 
     if (rec) snap_clocks();
     comm.broadcast(root, kCandidateBytes);
-    if (rec) emit_clock_spans("mpi_broadcast", "comm");
+    if (rec) emit_clock_spans("mpi_broadcast", "comm", {{"iteration", std::to_string(iter)}});
 
     // Host-side BitSplicing bookkeeping happens on every surviving rank
     // after the broadcast; charge it to the iteration.
@@ -333,7 +334,7 @@ ClusterRunResult ClusterRunner::run(const Dataset& data,
                                config_.host_word_rate;
     if (rec) snap_clocks();
     for (const std::uint32_t node : comm.alive_ranks()) comm.compute(node, splice_time);
-    if (rec) emit_clock_spans("bit_splice", "host");
+    if (rec) emit_clock_spans("bit_splice", "host", {{"iteration", std::to_string(iter)}});
 
     telemetry.best = best;
     telemetry.iteration_time = comm.finish_time() - t_start;

@@ -99,10 +99,17 @@ void SimComm::send(std::uint32_t src, std::uint32_t dst, std::uint64_t bytes) {
   // is busy for the injection latency of every copy it puts on the wire.
   const double penalty = fault.drops * cost_.retransmit_timeout +
                          fault.duplicates * transfer;
+  const double depart = clock_[src];
+  // The edge binds the receiver when the sender's clock is not behind: the
+  // receiver sat waiting for this message, so the critical path runs through
+  // the sender. A late receiver hides the transfer under its own work.
+  const bool binding = clock_[src] >= clock_[dst];
   const double arrival = std::max(clock_[src], clock_[dst]) + penalty + transfer;
   set_clock_comm(src, clock_[src] + cost_.latency * (1 + fault.drops + fault.duplicates));
   set_clock_comm(dst, arrival);
   if (recorder_) {
+    recorder_->trace.flow(src, depart, dst, arrival, flow_op_, "comm", binding,
+                          {{"bytes", std::to_string(bytes)}});
     obs::MetricsRegistry& metrics = recorder_->metrics;
     metrics.counter("comm.messages").add(1.0);
     metrics.counter("comm.message_bytes").add(static_cast<double>(bytes));
@@ -143,11 +150,13 @@ void SimComm::reduce_clocks(std::uint32_t root, std::uint64_t bytes) {
   const std::uint32_t p = static_cast<std::uint32_t>(ranks.size());
   std::uint32_t ri = 0;
   while (ranks[ri] != root) ++ri;
+  flow_op_ = "reduce";
   for (std::uint32_t stride = 1; stride < p; stride <<= 1) {
     for (std::uint32_t rel = 0; rel + stride < p; rel += stride << 1) {
       send(ranks[(ri + rel + stride) % p], ranks[(ri + rel) % p], bytes);
     }
   }
+  flow_op_ = "p2p";
   record_collective("reduce", bytes, begin);
 }
 
@@ -162,12 +171,14 @@ void SimComm::broadcast(std::uint32_t root, std::uint64_t bytes) {
   while (ranks[ri] != root) ++ri;
   std::uint32_t top = 1;
   while (top < p) top <<= 1;
+  flow_op_ = "broadcast";
   for (std::uint32_t stride = top >> 1; stride >= 1; stride >>= 1) {
     for (std::uint32_t rel = 0; rel + stride < p; rel += stride << 1) {
       send(ranks[(ri + rel) % p], ranks[(ri + rel + stride) % p], bytes);
     }
     if (stride == 1) break;
   }
+  flow_op_ = "p2p";
   record_collective("broadcast", bytes, begin);
 }
 

@@ -106,8 +106,12 @@ class SimComm {
   /// Attaches (or detaches, with nullptr) an observability recorder: every
   /// point-to-point message and collective then lands in its metrics
   /// registry (comm.messages, comm.retransmits, comm.collective_seconds per
-  /// op, ...). Recording never advances clocks — instrumented and
-  /// uninstrumented runs are bit-identical.
+  /// op, ...), and every message additionally lands in its tracer as a flow
+  /// edge from the sender's lane at departure to the receiver's lane at
+  /// arrival — the dependency graph the trace analyzer's critical-path walk
+  /// runs on, and the arrows Perfetto draws between rank lanes. Recording
+  /// never advances clocks — instrumented and uninstrumented runs are
+  /// bit-identical.
   void set_recorder(obs::Recorder* recorder) noexcept { recorder_ = recorder; }
 
   /// Timed point-to-point transfer of `bytes` from src to dst. The receive
@@ -181,6 +185,9 @@ class SimComm {
   CommCostModel cost_;
   MessageFaultFn fault_fn_;
   obs::Recorder* recorder_ = nullptr;
+  /// Collective context for flow edges emitted by send(): "reduce" or
+  /// "broadcast" while inside the corresponding tree walk, "p2p" otherwise.
+  const char* flow_op_ = "p2p";
   std::vector<double> clock_;
   std::vector<double> compute_time_;
   std::vector<double> comm_time_;

@@ -31,10 +31,17 @@ double Histogram::max() const noexcept {
   return *std::max_element(samples_.begin(), samples_.end());
 }
 
+const std::vector<double>& Histogram::sorted() const {
+  if (sorted_cache_.size() != samples_.size()) {
+    sorted_cache_.assign(samples_.begin(), samples_.end());
+    std::sort(sorted_cache_.begin(), sorted_cache_.end());
+  }
+  return sorted_cache_;
+}
+
 double Histogram::percentile(double p) const {
   if (samples_.empty()) return 0.0;
-  std::vector<double> sorted(samples_.begin(), samples_.end());
-  std::sort(sorted.begin(), sorted.end());
+  const std::vector<double>& sorted = this->sorted();
   const double clamped = std::clamp(p, 0.0, 100.0);
   const double position = clamped / 100.0 * static_cast<double>(sorted.size() - 1);
   const auto lo = static_cast<std::size_t>(position);

@@ -67,12 +67,19 @@ class Histogram {
   double min() const noexcept;
   double max() const noexcept;
   /// Linear-interpolated percentile, p in [0, 100]; 0 when empty. Identical
-  /// arithmetic to stats::percentile.
+  /// arithmetic to stats::percentile. Served from a lazily sorted cache, so
+  /// a snapshot's p50/p90/p99 triple sorts each histogram once, not three
+  /// times; observe() invalidates the cache. Not safe to race with observe()
+  /// (same contract as every other read here).
   double percentile(double p) const;
   std::span<const double> samples() const noexcept { return samples_; }
 
  private:
+  /// samples_ only ever grows, so a stale cache is exactly a shorter one.
+  const std::vector<double>& sorted() const;
+
   std::vector<double> samples_;
+  mutable std::vector<double> sorted_cache_;
   double sum_ = 0.0;
 };
 

@@ -37,6 +37,17 @@ void Tracer::instant(std::uint32_t lane, std::string_view name, std::string_view
                                /*instant=*/true, std::move(args)});
 }
 
+void Tracer::flow(std::uint32_t from_lane, double from_time, std::uint32_t to_lane,
+                  double to_time, std::string_view name, std::string_view category,
+                  bool binding, SpanArgs args) {
+  if (!(to_time >= from_time) || !std::isfinite(from_time) || !std::isfinite(to_time)) {
+    throw std::invalid_argument(
+        "Tracer::flow: edge must satisfy from_time <= to_time (finite)");
+  }
+  flows_.push_back(FlowEdge{std::string(name), std::string(category), from_lane, to_lane,
+                            from_time, to_time, binding, std::move(args)});
+}
+
 void Tracer::set_lane_name(std::uint32_t lane, std::string_view name) {
   for (auto& [l, n] : lane_names_) {
     if (l == lane) {
@@ -114,6 +125,38 @@ JsonValue Tracer::chrome_trace() const {
     }
     if (!event->args.empty()) entry.set("args", args_json(event->args));
     trace_events.push_back(std::move(entry));
+  }
+
+  // Flow edges last, in insertion order (deterministic); each edge is an
+  // "s"/"f" pair sharing its index as the flow id. "bp":"e" binds the finish
+  // to the enclosing slice, which is how Perfetto draws the arrowhead.
+  for (std::size_t i = 0; i < flows_.size(); ++i) {
+    const FlowEdge& edge = flows_[i];
+    JsonValue start;
+    start.set("name", JsonValue(edge.name));
+    start.set("cat", JsonValue(edge.category));
+    start.set("ph", JsonValue("s"));
+    start.set("id", JsonValue(static_cast<double>(i)));
+    start.set("pid", JsonValue(0));
+    start.set("tid", JsonValue(static_cast<double>(edge.from_lane)));
+    start.set("ts", JsonValue(edge.from_time * kMicros));
+    {
+      SpanArgs args = edge.args;
+      args.emplace_back("binding", edge.binding ? "true" : "false");
+      start.set("args", args_json(args));
+    }
+    trace_events.push_back(std::move(start));
+
+    JsonValue finish;
+    finish.set("name", JsonValue(edge.name));
+    finish.set("cat", JsonValue(edge.category));
+    finish.set("ph", JsonValue("f"));
+    finish.set("bp", JsonValue("e"));
+    finish.set("id", JsonValue(static_cast<double>(i)));
+    finish.set("pid", JsonValue(0));
+    finish.set("tid", JsonValue(static_cast<double>(edge.to_lane)));
+    finish.set("ts", JsonValue(edge.to_time * kMicros));
+    trace_events.push_back(std::move(finish));
   }
 
   JsonValue doc;

@@ -54,11 +54,31 @@ struct TraceEvent {
   double duration() const noexcept { return end - begin; }
 };
 
+/// One dependency edge between lanes: a message departing `from_lane` at
+/// `from_time` and landing on `to_lane` at `to_time`. Exported as a Chrome
+/// flow-event pair ("s"/"f" phases — Perfetto draws them as arrows) and
+/// consumed by the trace analyzer as the cross-lane edges of the
+/// happens-before graph. `binding` marks edges on which the receiver
+/// actually waited (the sender's clock was ahead when the transfer started);
+/// only binding edges can carry the critical path across lanes.
+struct FlowEdge {
+  std::string name;      ///< collective context: "reduce", "broadcast", "p2p"
+  std::string category;
+  std::uint32_t from_lane = 0;
+  std::uint32_t to_lane = 0;
+  double from_time = 0.0;  ///< simulated seconds at departure
+  double to_time = 0.0;    ///< simulated seconds at arrival
+  bool binding = false;
+  SpanArgs args;
+};
+
 class Tracer {
  public:
   Tracer() = default;
   Tracer(const Tracer&) = delete;
   Tracer& operator=(const Tracer&) = delete;
+  Tracer(Tracer&&) = default;
+  Tracer& operator=(Tracer&&) = default;
 
   /// Records a complete span [begin, end] on `lane`. Throws
   /// std::invalid_argument when end < begin (simulated clocks never run
@@ -70,10 +90,24 @@ class Tracer {
   void instant(std::uint32_t lane, std::string_view name, std::string_view category,
                double at, SpanArgs args = {});
 
+  /// Records a cross-lane dependency edge (one point-to-point message or
+  /// collective hop). Kept separate from the span list — flows are emitted
+  /// mid-collective, before the enclosing per-rank spans are appended, so
+  /// folding them into the span stream would break the per-lane monotone
+  /// append order. Throws std::invalid_argument on non-finite times or
+  /// to_time < from_time (messages never arrive before they depart).
+  void flow(std::uint32_t from_lane, double from_time, std::uint32_t to_lane, double to_time,
+            std::string_view name, std::string_view category, bool binding,
+            SpanArgs args = {});
+
   /// Human-readable lane name for the viewer ("rank 3", "engine").
   void set_lane_name(std::uint32_t lane, std::string_view name);
 
   const std::vector<TraceEvent>& events() const noexcept { return events_; }
+  const std::vector<FlowEdge>& flows() const noexcept { return flows_; }
+  const std::vector<std::pair<std::uint32_t, std::string>>& lane_names() const noexcept {
+    return lane_names_;
+  }
   std::size_t size() const noexcept { return events_.size(); }
   bool empty() const noexcept { return events_.empty(); }
 
@@ -86,6 +120,9 @@ class Tracer {
   ///   {"displayTimeUnit": "ms", "traceEvents": [...]}.
   /// Span events are sorted by (lane, begin, -duration) so nested spans
   /// follow their parents; timestamps are microseconds of simulated time.
+  /// Flow edges follow as "s"/"f" pairs sharing an "id" (their insertion
+  /// index), with "binding" recorded in the start event's args so offline
+  /// analysis can reconstruct the dependency graph.
   JsonValue chrome_trace() const;
 
   /// chrome_trace().dump() — the --trace-out file format.
@@ -93,6 +130,7 @@ class Tracer {
 
  private:
   std::vector<TraceEvent> events_;
+  std::vector<FlowEdge> flows_;
   std::vector<std::pair<std::uint32_t, std::string>> lane_names_;
 };
 

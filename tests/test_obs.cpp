@@ -103,6 +103,27 @@ TEST(ObsMetrics, HistogramPercentileMatchesStats) {
   EXPECT_THROW(h.observe(std::numeric_limits<double>::quiet_NaN()), std::invalid_argument);
 }
 
+TEST(ObsMetrics, HistogramCacheStaysCorrectAcrossInterleavedObserves) {
+  // percentile() serves from a lazily sorted cache; observing after a read
+  // must invalidate it, and repeated reads between observes must reuse it
+  // without changing any answer.
+  obs::Histogram h;
+  std::vector<double> samples;
+  for (int round = 0; round < 5; ++round) {
+    for (int i = 0; i < 11; ++i) {
+      const double v = ((round * 11 + i) * 6271 % 89) * 0.5;
+      samples.push_back(v);
+      h.observe(v);
+    }
+    for (const double p : {50.0, 90.0, 99.0}) {
+      const double expected = stats::percentile(samples, p);
+      EXPECT_DOUBLE_EQ(h.percentile(p), expected) << "round " << round << " p" << p;
+      // Second read hits the cache and must agree with the first.
+      EXPECT_DOUBLE_EQ(h.percentile(p), expected) << "cached, round " << round;
+    }
+  }
+}
+
 TEST(ObsMetrics, SnapshotSchemaRoundTrips) {
   obs::MetricsRegistry registry;
   registry.counter("comm.messages", {{"op", "reduce"}}).add(4.0);
@@ -131,6 +152,62 @@ TEST(ObsTrace, RejectsBackwardsSpans) {
   obs::Tracer tracer;
   EXPECT_THROW(tracer.complete(0, "bad", "test", 2.0, 1.0), std::invalid_argument);
   EXPECT_NO_THROW(tracer.complete(0, "ok", "test", 1.0, 1.0));
+}
+
+TEST(ObsTrace, RejectsNonFiniteTimestamps) {
+  // Regression guard: a NaN timestamp must be rejected at the recording API,
+  // not discovered later as a corrupt ts in the exported trace. NaN defeats
+  // ordinary `end >= begin` comparisons, so the guards test finiteness
+  // explicitly.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  obs::Tracer tracer;
+  EXPECT_THROW(tracer.complete(0, "s", "t", nan, 1.0), std::invalid_argument);
+  EXPECT_THROW(tracer.complete(0, "s", "t", 0.0, nan), std::invalid_argument);
+  EXPECT_THROW(tracer.complete(0, "s", "t", nan, nan), std::invalid_argument);
+  EXPECT_THROW(tracer.complete(0, "s", "t", 0.0, inf), std::invalid_argument);
+  EXPECT_THROW(tracer.complete(0, "s", "t", -inf, 0.0), std::invalid_argument);
+  EXPECT_THROW(tracer.instant(0, "i", "t", nan), std::invalid_argument);
+  EXPECT_THROW(tracer.instant(0, "i", "t", inf), std::invalid_argument);
+  EXPECT_TRUE(tracer.empty());  // nothing was recorded by the rejected calls
+}
+
+TEST(ObsTrace, FlowValidationAndChromeExport) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  obs::Tracer tracer;
+  EXPECT_THROW(tracer.flow(0, nan, 1, 1.0, "m", "comm", true), std::invalid_argument);
+  EXPECT_THROW(tracer.flow(0, 0.0, 1, nan, "m", "comm", true), std::invalid_argument);
+  EXPECT_THROW(tracer.flow(0, 2.0, 1, 1.0, "m", "comm", true),
+               std::invalid_argument);  // arrival before departure
+  ASSERT_TRUE(tracer.flows().empty());
+
+  tracer.complete(0, "send", "comm", 0.0, 1.0);
+  tracer.complete(1, "recv", "comm", 0.0, 2.0);
+  tracer.flow(0, 1.0, 1, 2.0, "p2p", "comm", true, {{"bytes", "8"}});
+
+  // Chrome export: each flow is an "s"/"f" pair, paired by id, finishing
+  // with bp:"e" so the arrow attaches to the enclosing slice's end.
+  const JsonValue doc = JsonValue::parse(tracer.to_chrome_json());
+  const JsonValue* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  const JsonValue* start = nullptr;
+  const JsonValue* finish = nullptr;
+  for (std::size_t i = 0; i < events->size(); ++i) {
+    const JsonValue& e = events->at(i);
+    const std::string ph = e.find("ph")->as_string();
+    if (ph == "s") start = &e;
+    if (ph == "f") finish = &e;
+  }
+  ASSERT_NE(start, nullptr);
+  ASSERT_NE(finish, nullptr);
+  EXPECT_EQ(start->find("id")->as_number(), finish->find("id")->as_number());
+  EXPECT_DOUBLE_EQ(start->find("ts")->as_number(), 1.0e6);
+  EXPECT_DOUBLE_EQ(start->find("tid")->as_number(), 0.0);
+  EXPECT_EQ(start->find("args")->find("bytes")->as_string(), "8");
+  EXPECT_EQ(start->find("args")->find("binding")->as_string(), "true");
+  EXPECT_DOUBLE_EQ(finish->find("ts")->as_number(), 2.0e6);
+  EXPECT_DOUBLE_EQ(finish->find("tid")->as_number(), 1.0);
+  EXPECT_EQ(finish->find("bp")->as_string(), "e");
 }
 
 TEST(ObsTrace, PerLaneMonotoneDetectsViolations) {
