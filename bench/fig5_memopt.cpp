@@ -21,6 +21,9 @@
 #include "core/engine.hpp"
 #include "core/schemes.hpp"
 #include "data/generator.hpp"
+#include "obs/bench.hpp"
+#include "obs/profile.hpp"
+#include "obs/recorder.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -78,34 +81,59 @@ BENCHMARK(BM_Fig5_MemOpt1_2_BitSplicing)->Unit(benchmark::kMillisecond);
 
 void print_modeled_fig5() {
   // Single-GPU 3-hit BRCA under the V100 model, cumulative optimizations.
+  // Each stage runs with the kernel profiler attached: the stage's DRAM and
+  // prefetch traffic in the BENCH record comes from the multihit.profile.v1
+  // rollups, so the figure bench and the profiler cannot silently diverge
+  // (tests/test_profile.cpp re-derives both from a saved artifact).
   ModelInputs inputs;
   inputs.hits = 3;
   struct Stage {
     const char* name;
+    const char* key;
     MemOpts opts;
     bool splice;
   };
   const Stage stages[] = {
-      {"baseline (no optimizations)", MemOpts{}, false},
-      {"+ MemOpt1 (prefetch i)", MemOpts{.prefetch_i = true}, false},
-      {"+ MemOpt2 (prefetch j)", MemOpts{.prefetch_i = true, .prefetch_j = true}, false},
-      {"+ BitSplicing", MemOpts{.prefetch_i = true, .prefetch_j = true}, true},
+      {"baseline (no optimizations)", "baseline", MemOpts{}, false},
+      {"+ MemOpt1 (prefetch i)", "memopt1", MemOpts{.prefetch_i = true}, false},
+      {"+ MemOpt2 (prefetch j)", "memopt1_2",
+       MemOpts{.prefetch_i = true, .prefetch_j = true}, false},
+      {"+ BitSplicing", "memopt1_2_splice",
+       MemOpts{.prefetch_i = true, .prefetch_j = true}, true},
   };
 
   print_section(std::cout,
                 "Fig. 5 (modeled) — 3-hit BRCA on one V100, cumulative optimizations");
+  obs::BenchReporter reporter("fig5_memopt");
   Table table({"configuration", "modeled time (s)", "speedup vs baseline"});
   double baseline = 0.0;
+  double baseline_dram = 0.0;
   for (const Stage& stage : stages) {
     ModelInputs staged = inputs;
     staged.mem_opts = stage.opts;
     staged.bit_splicing = stage.splice;
+    obs::Recorder recorder;
+    recorder.profile.enable();
+    staged.recorder = &recorder;
     const double t = model_single_gpu_time(DeviceSpec::v100(), staged);
     if (baseline == 0.0) baseline = t;
     table.add_row({std::string(stage.name), t, baseline / t});
+
+    const obs::JsonValue profile = obs::profile_report(recorder.profile);
+    const obs::JsonValue& totals = *profile.find("totals");
+    const double dram_bytes = totals.find("dram_bytes")->as_number();
+    if (baseline_dram == 0.0) baseline_dram = dram_bytes;
+    const std::string key = stage.key;
+    reporter.series("modeled_time_" + key, t, "s");
+    reporter.series("speedup_" + key, baseline / t, "x");
+    reporter.series("profile_dram_bytes_" + key, dram_bytes, "B");
+    reporter.series("profile_local_bytes_" + key,
+                    totals.find("local_bytes")->as_number(), "B");
+    reporter.series("profile_dram_reduction_" + key, baseline_dram / dram_bytes, "x");
   }
   table.print(std::cout);
   std::cout << "[paper: combined ~3x speedup from the three optimizations]\n";
+  reporter.write();
 }
 
 }  // namespace

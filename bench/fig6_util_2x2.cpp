@@ -18,6 +18,9 @@
 
 #include "cluster/model.hpp"
 #include "data/registry.hpp"
+#include "obs/bench.hpp"
+#include "obs/profile.hpp"
+#include "obs/recorder.hpp"
 #include "util/table.hpp"
 
 int main() {
@@ -34,6 +37,9 @@ int main() {
   inputs.normal_samples = acc->paper_normal_samples;
   inputs.scheme4 = Scheme4::k2x2;
   inputs.first_iteration_only = true;
+  obs::Recorder recorder;
+  recorder.profile.enable();
+  inputs.recorder = &recorder;
 
   std::cout << "Reproduces paper Fig. 6 (per-GPU utilization, 2x2 scheme, ACC, "
             << config.units() << " GPUs).\n";
@@ -70,5 +76,34 @@ int main() {
                "throughput increasing; the inverse utilization/throughput correlation\n"
                "holds up to the point where throughput saturates (the paper's ~GPU #500\n"
                "transition), after which utilization flattens instead of tracking it.\n";
+
+  // BENCH record: the headline figure values plus the same quantities read
+  // back from the run's multihit.profile.v1 rollups, so bench_compare.py can
+  // catch drift in either the model or the profiler independently.
+  {
+    const auto first_stalls = stall_breakdown(first);
+    obs::BenchReporter reporter("fig6_util_2x2");
+    reporter.series("util_gpu0_pct", 100.0 * first.time / max_time, "%");
+    reporter.series("util_last_pct", 100.0 * last.time / max_time, "%");
+    reporter.series("occupancy_gpu0_pct", 100.0 * first.occupancy, "%");
+    reporter.series("stall_mem_dep_gpu0_pct", 100.0 * first_stalls.memory_dependency, "%");
+    reporter.series("throughput_rise_ratio", last.dram_throughput / first.dram_throughput,
+                    "x");
+    const obs::JsonValue profile = obs::profile_report(recorder.profile);
+    const obs::JsonValue& roofline = *profile.find("roofline");
+    reporter.series("profile_kernels", profile.find("totals")->find("kernels")->as_number(),
+                    "kernels");
+    reporter.series("profile_memory_bound_kernels",
+                    roofline.find("memory_bound_kernels")->as_number(), "kernels");
+    reporter.series("profile_mean_occupancy_pct",
+                    100.0 * roofline.find("mean_occupancy")->as_number(), "%");
+    reporter.series("profile_peak_dram_throughput_gbs",
+                    roofline.find("peak_dram_throughput")->as_number() / 1e9, "GB/s");
+    reporter.series("profile_stall_mem_dep_pct",
+                    100.0 * roofline.find("stall_memory_dependency")->as_number(), "%");
+    reporter.series("profile_stall_mem_throttle_pct",
+                    100.0 * roofline.find("stall_memory_throttle")->as_number(), "%");
+    reporter.write();
+  }
   return 0;
 }

@@ -3,15 +3,21 @@
 //   $ ./examples/brca_scaleout [nodes] [--crash R@I[:F]] [--straggle R@I:F]
 //                              [--drop R@I:N] [--checkpoint N]
 //                              [--trace-out FILE] [--metrics-out FILE]
-//                              [--report-out FILE] [--log-level LEVEL]
+//                              [--report-out FILE] [--profile-out FILE]
+//                              [--log-level LEVEL]
 //
 // Observability: `--trace-out run.trace.json` writes a Chrome trace-event
 // file of the functional run (open at https://ui.perfetto.dev — one lane per
-// MPI rank plus engine/scheduler lanes, message-flow arrows between ranks),
-// `--metrics-out run.metrics.json` writes the metrics-registry snapshot, and
+// MPI rank plus engine/scheduler lanes, message-flow arrows between ranks,
+// and per-rank occupancy/DRAM-throughput counter tracks),
+// `--metrics-out run.metrics.json` writes the metrics-registry snapshot,
 // `--report-out run.report.json` runs the trace analytics engine in-process
 // and writes the multihit.analysis.v1 report (critical path, per-phase
-// imbalance, comm overhead — same engine as `multihit-obstool analyze`).
+// imbalance, comm overhead — same engine as `multihit-obstool analyze`), and
+// `--profile-out run.profile.json` enables the per-launch kernel profiler
+// and writes the multihit.profile.v1 artifact (read it with
+// `multihit-obstool profile`). `--profile-out` requires instrumentation:
+// pass it together with at least one of the other three output flags.
 // All are deterministic: timestamps are simulated seconds, so identical runs
 // produce byte-identical files.
 //
@@ -55,7 +61,8 @@ namespace {
   std::cerr << "usage: brca_scaleout [nodes] [--crash R@I[:F]] [--straggle R@I:F]\n"
                "                     [--drop R@I:N] [--checkpoint N]\n"
                "                     [--trace-out FILE] [--metrics-out FILE]\n"
-               "                     [--report-out FILE] [--log-level LEVEL]\n";
+               "                     [--report-out FILE] [--profile-out FILE]\n"
+               "                     [--log-level LEVEL]\n";
   std::exit(1);
 }
 
@@ -65,7 +72,7 @@ int main(int argc, char** argv) {
   using namespace multihit;
   std::uint32_t nodes = 4;
   DistributedOptions options;  // 4-hit, 3x1, EA, both prefetches, splicing
-  std::string trace_out, metrics_out, report_out;
+  std::string trace_out, metrics_out, report_out, profile_out;
 
   for (int a = 1; a < argc; ++a) {
     const std::string arg = argv[a];
@@ -95,6 +102,8 @@ int main(int argc, char** argv) {
       metrics_out = next();
     } else if (arg == "--report-out") {
       report_out = next();
+    } else if (arg == "--profile-out") {
+      profile_out = next();
     } else if (arg == "--log-level") {
       const char* name = next();
       const auto level = log::parse_level(name);
@@ -143,6 +152,17 @@ int main(int argc, char** argv) {
   if (!trace_out.empty() || !metrics_out.empty() || !report_out.empty()) {
     options.recorder = &recorder;
   }
+  if (!profile_out.empty()) {
+    // The kernel profiler piggybacks on the recorder seam: without at least
+    // one instrumented output there is no recorder attached to the run, so
+    // the profile would silently come out empty. Reject instead.
+    if (!options.recorder) {
+      std::cerr << "error: --profile-out requires instrumentation; pass at least one of "
+                   "--trace-out, --metrics-out, or --report-out\n";
+      return 1;
+    }
+    recorder.profile.enable();
+  }
   ClusterRunResult distributed;
   try {
     distributed = runner.run(data, options);
@@ -178,6 +198,15 @@ int main(int argc, char** argv) {
     std::cout << "  analysis report written to " << report_out << " (critical path "
               << analysis.critical_total << " s, comm overhead "
               << analysis.comm_fraction * 100.0 << "%)\n";
+  }
+  if (!profile_out.empty()) {
+    if (!recorder.write_profile(profile_out)) {
+      std::cerr << "error: cannot write kernel profile to " << profile_out << "\n";
+      return 1;
+    }
+    std::cout << "  kernel profile written to " << profile_out << " ("
+              << recorder.profile.size()
+              << " launch records; read with multihit-obstool profile)\n";
   }
 
   EngineConfig serial_config;

@@ -2,18 +2,32 @@
 //
 //   $ multihit-obstool analyze run.trace.json [run.metrics.json]
 //                      [--report-out FILE] [--folded-out FILE] [--quiet]
+//   $ multihit-obstool profile run.profile.json [run.trace.json] [run.metrics.json]
+//                      [--report-out FILE] [--roofline-out FILE]
+//                      [--heatmap-out FILE] [--summary] [--quiet]
 //
-// Loads a --trace-out Chrome trace (and optionally a --metrics-out snapshot),
-// runs the trace analytics engine (critical path, per-phase imbalance, comm
-// overhead — see src/obs/analyze.hpp), and prints the human-readable
-// summary. `--report-out` writes the multihit.analysis.v1 JSON report,
-// `--folded-out` writes collapsed flamegraph stacks (flamegraph.pl /
-// speedscope format). All outputs are deterministic: analyzing the same
-// files twice produces byte-identical artifacts, which scripts/ci.sh uses as
-// the determinism gate.
+// `analyze` loads a --trace-out Chrome trace (and optionally a --metrics-out
+// snapshot), runs the trace analytics engine (critical path, per-phase
+// imbalance, comm overhead — see src/obs/analyze.hpp), and prints the
+// human-readable summary. `--report-out` writes the multihit.analysis.v1
+// JSON report, `--folded-out` writes collapsed flamegraph stacks
+// (flamegraph.pl / speedscope format).
 //
-// Exit status: 0 on success, 1 on unreadable/malformed/ill-shaped inputs or
-// unwritable outputs.
+// `profile` loads a --profile-out multihit.profile.v1 artifact and prints
+// the per-kernel occupancy/stall/roofline rollups (`--summary` truncates the
+// per-rank×iteration table). `--report-out` re-renders the normalized
+// profile document, `--roofline-out`/`--heatmap-out` write CSV views of the
+// roofline scatter and the per-GPU workload heatmap. When the run's trace
+// and/or metrics files are also given, the profile is reconciled against
+// them — per-rank kernel counts, counted DRAM bytes, and traced durations
+// must agree exactly (see DESIGN.md §10) — and any mismatch exits 1.
+//
+// All outputs are deterministic: processing the same files twice produces
+// byte-identical artifacts, which scripts/ci.sh uses as the determinism
+// gate.
+//
+// Exit status: 0 on success, 1 on unreadable/malformed/ill-shaped inputs,
+// unwritable outputs, or failed profile reconciliation.
 
 #include <fstream>
 #include <iostream>
@@ -21,12 +35,16 @@
 #include <string>
 
 #include "obs/analyze.hpp"
+#include "obs/profile.hpp"
 
 namespace {
 
 [[noreturn]] void usage() {
   std::cerr << "usage: multihit-obstool analyze TRACE.json [METRICS.json]\n"
-               "                        [--report-out FILE] [--folded-out FILE] [--quiet]\n";
+               "                        [--report-out FILE] [--folded-out FILE] [--quiet]\n"
+               "       multihit-obstool profile PROFILE.json [TRACE.json] [METRICS.json]\n"
+               "                        [--report-out FILE] [--roofline-out FILE]\n"
+               "                        [--heatmap-out FILE] [--summary] [--quiet]\n";
   std::exit(1);
 }
 
@@ -45,12 +63,8 @@ bool write_file(const std::string& path, const std::string& content) {
   return static_cast<bool>(out);
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
+int run_analyze(int argc, char** argv) {
   using namespace multihit::obs;
-  if (argc < 3 || std::string(argv[1]) != "analyze") usage();
-
   std::string trace_path, metrics_path, report_out, folded_out;
   bool quiet = false;
   for (int a = 2; a < argc; ++a) {
@@ -102,4 +116,100 @@ int main(int argc, char** argv) {
     return 1;
   }
   return 0;
+}
+
+int run_profile(int argc, char** argv) {
+  using namespace multihit::obs;
+  std::string profile_path, trace_path, metrics_path;
+  std::string report_out, roofline_out, heatmap_out;
+  bool summary = false, quiet = false;
+  for (int a = 2; a < argc; ++a) {
+    const std::string arg = argv[a];
+    const auto next = [&]() -> const char* {
+      if (a + 1 >= argc) usage();
+      return argv[++a];
+    };
+    if (arg == "--report-out") {
+      report_out = next();
+    } else if (arg == "--roofline-out") {
+      roofline_out = next();
+    } else if (arg == "--heatmap-out") {
+      heatmap_out = next();
+    } else if (arg == "--summary") {
+      summary = true;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      usage();
+    } else if (profile_path.empty()) {
+      profile_path = arg;
+    } else if (trace_path.empty()) {
+      trace_path = arg;
+    } else if (metrics_path.empty()) {
+      metrics_path = arg;
+    } else {
+      usage();
+    }
+  }
+  if (profile_path.empty()) usage();
+
+  try {
+    const JsonValue profile_doc = JsonValue::parse(read_file(profile_path));
+    const Profiler profiler = profiler_from_json(profile_doc);
+
+    Tracer tracer;
+    if (!trace_path.empty()) {
+      tracer = tracer_from_chrome(JsonValue::parse(read_file(trace_path)));
+    }
+    JsonValue metrics_doc;
+    if (!metrics_path.empty()) metrics_doc = JsonValue::parse(read_file(metrics_path));
+
+    if (!report_out.empty() &&
+        !write_file(report_out, profile_report(profiler).dump() + "\n")) {
+      std::cerr << "error: cannot write profile report to " << report_out << "\n";
+      return 1;
+    }
+    if (!roofline_out.empty() && !write_file(roofline_out, roofline_csv(profiler))) {
+      std::cerr << "error: cannot write roofline CSV to " << roofline_out << "\n";
+      return 1;
+    }
+    if (!heatmap_out.empty() && !write_file(heatmap_out, heatmap_csv(profiler))) {
+      std::cerr << "error: cannot write heatmap CSV to " << heatmap_out << "\n";
+      return 1;
+    }
+    if (!quiet) std::cout << profile_text(profiler, summary);
+
+    // Reconciliation: the profile, the trace, and the metrics snapshot
+    // describe the same run — any disagreement is a telemetry bug.
+    const std::vector<std::string> mismatches = profile_crosscheck(
+        profiler, trace_path.empty() ? nullptr : &tracer,
+        metrics_path.empty() ? nullptr : &metrics_doc);
+    if (!mismatches.empty()) {
+      for (const std::string& mismatch : mismatches) {
+        std::cerr << "reconciliation mismatch: " << mismatch << "\n";
+      }
+      return 1;
+    }
+    if (!quiet && (!trace_path.empty() || !metrics_path.empty())) {
+      std::cout << "reconciliation: profile totals agree with "
+                << (!trace_path.empty() && !metrics_path.empty()
+                        ? "trace spans and metrics counters"
+                        : (!trace_path.empty() ? "trace spans" : "metrics counters"))
+                << "\n";
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) usage();
+  const std::string command = argv[1];
+  if (command == "analyze") return run_analyze(argc, argv);
+  if (command == "profile") return run_profile(argc, argv);
+  usage();
 }

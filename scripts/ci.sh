@@ -27,9 +27,13 @@ done
 bench_dir="build/bench_records"
 mkdir -p "$bench_dir"
 echo "=== bench records ==="
-for bench in fig4_scaling fig8_comm_overhead tab_fault_overhead; do
+for bench in fig4_scaling fig6_util_2x2 fig7_util_3x1 fig8_comm_overhead tab_fault_overhead; do
   MULTIHIT_BENCH_DIR="$bench_dir" "build/bench/$bench" > /dev/null
 done
+# fig5 is a google-benchmark binary; skip the measured part (filter matches
+# nothing) and keep only the modeled table, which emits the BENCH record.
+MULTIHIT_BENCH_DIR="$bench_dir" build/bench/fig5_memopt \
+  --benchmark_filter='NOTHING_MATCHES' > /dev/null
 if command -v python3 > /dev/null; then
   python3 scripts/bench_compare.py "$bench_dir"/BENCH_*.json
 else
@@ -61,5 +65,37 @@ cmp "$obs_dir/pass1.report.json" "$obs_dir/pass2.report.json"
 cmp "$obs_dir/pass1.folded" "$obs_dir/pass2.folded"
 build/examples/multihit-obstool analyze "$obs_dir/run1.trace.json"
 echo "trace analysis deterministic (in-process and offline)"
+
+# Kernel-profiler smoke: an instrumented run with --profile-out, the obstool
+# profile pipeline reconciling the profile against the run's trace and
+# metrics (any mismatch exits 1), and the same determinism gates — both the
+# instrumented binary and the offline renderer must be byte-stable.
+echo "=== kernel profile smoke ==="
+for run in 1 2; do
+  build/examples/brca_scaleout 4 --crash 1@0 --checkpoint 2 \
+    --trace-out "$obs_dir/prof$run.trace.json" \
+    --metrics-out "$obs_dir/prof$run.metrics.json" \
+    --profile-out "$obs_dir/prof$run.profile.json" > /dev/null
+done
+cmp "$obs_dir/prof1.profile.json" "$obs_dir/prof2.profile.json"
+for pass in 1 2; do
+  build/examples/multihit-obstool profile \
+    "$obs_dir/prof1.profile.json" "$obs_dir/prof1.trace.json" \
+    "$obs_dir/prof1.metrics.json" \
+    --report-out "$obs_dir/prof_pass$pass.report.json" \
+    --roofline-out "$obs_dir/prof_pass$pass.roofline.csv" \
+    --heatmap-out "$obs_dir/prof_pass$pass.heatmap.csv" > /dev/null
+done
+cmp "$obs_dir/prof_pass1.report.json" "$obs_dir/prof_pass2.report.json"
+cmp "$obs_dir/prof_pass1.roofline.csv" "$obs_dir/prof_pass2.roofline.csv"
+cmp "$obs_dir/prof_pass1.heatmap.csv" "$obs_dir/prof_pass2.heatmap.csv"
+# --profile-out without any instrumented output must be rejected, not
+# silently produce an empty profile.
+if build/examples/brca_scaleout 4 --profile-out "$obs_dir/reject.profile.json" \
+    > /dev/null 2>&1; then
+  echo "ERROR: --profile-out without instrumentation should fail" >&2
+  exit 1
+fi
+echo "kernel profile deterministic and reconciled"
 
 echo "=== all presets green ==="

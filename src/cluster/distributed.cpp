@@ -98,6 +98,7 @@ ClusterRunResult ClusterRunner::run(const Dataset& data,
   injector.set_recorder(rec);
 
   if (rec) {
+    if (rec->profile.enabled()) rec->profile.set_device(profile_device_info(config_.device));
     rec->trace.set_lane_name(obs::kEngineLane, "engine");
     rec->trace.set_lane_name(obs::kSchedulerLane, "scheduler");
     for (std::uint32_t r = 0; r < config_.nodes; ++r) {
@@ -196,8 +197,10 @@ ClusterRunResult ClusterRunner::run(const Dataset& data,
       const double c0 = comm.clock(node);
       EvalResult node_best;
       double node_time = 0.0;  // the node's GPUs run concurrently
+      double occupancy_peak = 0.0, throughput_sum = 0.0;  // counter-track samples
       for (std::uint32_t g = 0; g < gpn; ++g) {
         const std::uint32_t unit = pos * gpn + g;
+        if (rec) rec->profile.set_context({node, unit, iter, /*recovery=*/false});
         const DeviceRunResult run =
             run_device(device, options, tumor, normal, ctx, schedule[unit]);
         GpuTiming timing = run.timing;
@@ -207,18 +210,36 @@ ClusterRunResult ClusterRunner::run(const Dataset& data,
         telemetry.combinations += run.stats.combinations;
         node_best = merge_results(node_best, run.best);
         node_time = std::max(node_time, timing.time);
+        // An empty partition never launches: run_pipeline returned without
+        // recording, so there is no profile row to place on the clock.
+        if (rec && run.blocks > 0) rec->profile.annotate_last(c0, timing.time);
         if (rec && timing.time > 0.0) {
           // The node's GPUs run concurrently: each kernel span starts at the
           // rank clock, nested inside the compute span emitted below.
           const StallBreakdown stalls = stall_breakdown(timing);
+          occupancy_peak = std::max(occupancy_peak, timing.occupancy);
+          throughput_sum += timing.dram_throughput;
           rec->trace.complete(
               node, "gpu_kernel", "gpu", c0, c0 + timing.time,
               {{"gpu", std::to_string(g)},
                {"occupancy", std::to_string(timing.occupancy)},
                {"dram_throughput", std::to_string(timing.dram_throughput)},
                {"memory_bound", timing.memory_bound ? "true" : "false"},
-               {"stall_memory_dependency", std::to_string(stalls.memory_dependency)}});
+               {"stall_memory_dependency", std::to_string(stalls.memory_dependency)},
+               {"global_bytes",
+                obs::json_number(static_cast<double>(run.stats.global_words) * 8.0)}});
         }
+      }
+      // Perfetto counter tracks: the rank's peak kernel occupancy and summed
+      // DRAM throughput over the compute window, dropped back to zero when
+      // the window ends (at the crash for a dying rank).
+      if (rec && node_time > 0.0) {
+        rec->trace.counter(node, "gpu_occupancy", c0, occupancy_peak);
+        rec->trace.counter(node, "gpu_dram_throughput", c0, throughput_sum);
+        const double window_end =
+            crash_frac >= 0.0 ? c0 + crash_frac * node_time : c0 + node_time;
+        rec->trace.counter(node, "gpu_occupancy", window_end, 0.0);
+        rec->trace.counter(node, "gpu_dram_throughput", window_end, 0.0);
       }
       if (crash_frac >= 0.0) {
         // Dies mid-compute: the partial work is lost with it, and its λ
@@ -228,6 +249,9 @@ ClusterRunResult ClusterRunner::run(const Dataset& data,
         crashed.emplace_back(node, comm.clock(node));
         ++result.ranks_lost;
         if (rec) {
+          // The partial work died with the rank: flag its launch records so
+          // the profile's lost_kernels rollups line up with ranks_lost.
+          rec->profile.mark_node_lost(node, iter);
           rec->metrics.counter("cluster.ranks_lost").add(1.0);
           rec->trace.complete(node, "compute", "compute", c0,
                               c0 + crash_frac * node_time, {{"crashed", "true"}});
@@ -276,22 +300,43 @@ ClusterRunResult ClusterRunner::run(const Dataset& data,
       if (rec) emit_clock_spans("mpi_broadcast", "comm", {{"iteration", std::to_string(iter)}});
 
       std::vector<EvalResult> recovery(config_.nodes);
+      // Recovery kernel spans are buffered and emitted *after* the enclosing
+      // recovery_compute span: segments of different GPUs start at different
+      // offsets, so appending them as they run would break the per-lane
+      // monotone order the trace format requires.
+      struct PendingKernelSpan {
+        double begin = 0.0, end = 0.0;
+        std::uint32_t gpu = 0;
+        double global_bytes = 0.0;
+      };
+      std::vector<PendingKernelSpan> pending;
       for (std::uint32_t pos = 0; pos < survivors.size(); ++pos) {
         const std::uint32_t node = survivors[pos];
         const double straggle = injector.straggle_factor(node, iter);
         const double r0 = comm.clock(node);
         double node_time = 0.0;
+        pending.clear();
         for (std::uint32_t g = 0; g < gpn; ++g) {
           const std::uint32_t unit = pos * gpn + g;
           double gpu_time = 0.0;  // lost segments run back-to-back on the GPU
           for (const Partition& range : lost) {
             const Partition segment = intersect(next_schedule[unit], range);
             if (segment.size() == 0) continue;
+            if (rec) rec->profile.set_context({node, unit, iter, /*recovery=*/true});
             const DeviceRunResult run =
                 run_device(device, options, tumor, normal, ctx, segment);
             recovery[node] = merge_results(recovery[node], run.best);
-            gpu_time += run.timing.time * config_.jitter_factor(unit) *
-                        config_.noise_factor() * straggle;
+            const double segment_time = run.timing.time * config_.jitter_factor(unit) *
+                                        config_.noise_factor() * straggle;
+            if (rec && run.blocks > 0) {
+              rec->profile.annotate_last(r0 + gpu_time, segment_time);
+              if (segment_time > 0.0) {
+                pending.push_back(
+                    {r0 + gpu_time, r0 + gpu_time + segment_time, g,
+                     static_cast<double>(run.stats.global_words) * 8.0});
+              }
+            }
+            gpu_time += segment_time;
             telemetry.candidate_bytes_total += run.candidate_bytes;
             telemetry.combinations += run.stats.combinations;
           }
@@ -301,6 +346,16 @@ ClusterRunResult ClusterRunner::run(const Dataset& data,
         if (rec && comm.clock(node) > r0) {
           rec->trace.complete(node, "recovery_compute", "recovery", r0, comm.clock(node),
                               {{"iteration", std::to_string(iter)}});
+          std::stable_sort(pending.begin(), pending.end(),
+                           [](const PendingKernelSpan& a, const PendingKernelSpan& b) {
+                             return a.begin < b.begin;
+                           });
+          for (const PendingKernelSpan& span : pending) {
+            rec->trace.complete(node, "gpu_kernel", "gpu", span.begin, span.end,
+                                {{"gpu", std::to_string(span.gpu)},
+                                 {"recovery", "true"},
+                                 {"global_bytes", obs::json_number(span.global_bytes)}});
+          }
         }
       }
       if (rec) snap_clocks();

@@ -6,6 +6,7 @@
 
 #include "gpusim/analytic.hpp"
 #include "gpusim/device.hpp"
+#include "obs/recorder.hpp"
 #include "sched/memaware.hpp"
 #include "sched/workload.hpp"
 
@@ -51,7 +52,7 @@ WorkloadModel model_for_inputs(const ModelInputs& inputs) {
 // One modeled distributed iteration at the given tumor width.
 ModeledIteration model_iteration(const SummitConfig& config, const ModelInputs& inputs,
                                  const std::vector<Partition>& schedule,
-                                 std::uint32_t tumor_samples) {
+                                 std::uint32_t tumor_samples, std::uint32_t iteration_index) {
   const std::uint32_t units = config.units();
   const std::uint32_t wt = words_for(tumor_samples);
   const std::uint32_t wn = words_for(inputs.normal_samples);
@@ -69,7 +70,20 @@ ModeledIteration model_iteration(const SummitConfig& config, const ModelInputs& 
       const std::uint32_t unit = node * config.gpus_per_node + g;
       const KernelStats stats = stats_for_partition(inputs, schedule[unit], wt, wn);
       GpuTiming timing = model_gpu_time(config.device, stats, schedule[unit].size());
+      // The profile keeps the device-model view (un-jittered) in the modeled
+      // fields and the jittered placement in sim_seconds — the same split the
+      // functional cluster path records.
+      if (inputs.recorder && inputs.recorder->profile.enabled() &&
+          schedule[unit].size() > 0) {
+        inputs.recorder->profile.set_context({node, unit, iteration_index, false});
+        inputs.recorder->profile.record(
+            kernel_profile_from(config.device, stats, timing, schedule[unit]));
+      }
       timing.time *= config.jitter_factor(unit) * config.noise_factor();
+      if (inputs.recorder && inputs.recorder->profile.enabled() &&
+          schedule[unit].size() > 0) {
+        inputs.recorder->profile.annotate_last(0.0, timing.time);
+      }
       iteration.gpus[unit] = timing;
       const std::uint64_t blocks =
           (schedule[unit].size() + config.device.block_size - 1) / config.device.block_size;
@@ -122,13 +136,17 @@ ModeledRun model_cluster_run(const SummitConfig& config, const ModelInputs& inpu
   run.schedule_time =
       static_cast<double>(model.levels().size()) * config.schedule_seconds_per_level;
 
+  if (inputs.recorder && inputs.recorder->profile.enabled()) {
+    inputs.recorder->profile.set_device(profile_device_info(config.device));
+  }
   double remaining = inputs.tumor_samples;
   std::uint32_t iterations = 0;
   while (remaining >= 1.0) {
     const auto width = static_cast<std::uint32_t>(std::ceil(remaining));
     run.iterations.push_back(model_iteration(config, inputs, schedule,
                                              inputs.bit_splicing ? width
-                                                                 : inputs.tumor_samples));
+                                                                 : inputs.tumor_samples,
+                                             iterations));
     ++iterations;
     if (inputs.first_iteration_only) break;
     if (inputs.max_iterations != 0 && iterations >= inputs.max_iterations) break;

@@ -48,6 +48,11 @@ struct ModelInputs {
   double rank_mtbf_hours = 0.0;
   /// Auto-checkpoint period in modeled seconds (0 = no checkpointing).
   double checkpoint_every_seconds = 0.0;
+  /// Optional observability context. The analytic path prices launches
+  /// without a GpuDevice, so only the kernel profiler is fed (one
+  /// KernelProfile per modeled launch when recorder->profile is enabled);
+  /// metrics/trace stay untouched. Never affects modeled times.
+  obs::Recorder* recorder = nullptr;
 };
 
 struct ModeledIteration {

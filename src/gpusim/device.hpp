@@ -19,6 +19,7 @@
 #include "bitmat/bitmatrix.hpp"
 #include "core/schemes.hpp"
 #include "gpusim/perfmodel.hpp"
+#include "obs/profile.hpp"
 #include "sched/schedule.hpp"
 
 namespace multihit::obs {
@@ -73,7 +74,7 @@ class GpuDevice {
  private:
   template <typename EvalBlock>
   DeviceRunResult run_pipeline(const Partition& partition, EvalBlock&& eval_block) const;
-  void record_launch(const DeviceRunResult& result) const;
+  void record_launch(const DeviceRunResult& result, const Partition& partition) const;
 
   DeviceSpec spec_;
   obs::Recorder* recorder_ = nullptr;
@@ -86,5 +87,17 @@ EvalResult parallel_reduce_max(std::vector<EvalResult> candidates);
 
 /// Bytes per stored candidate: four gene ids + one F value (paper: 20 B).
 inline constexpr std::uint64_t kCandidateBytes = 20;
+
+/// DeviceSpec constants mirrored into the profile artifact's device section.
+obs::ProfileDevice profile_device_info(const DeviceSpec& spec);
+
+/// Builds the NVPROF-style launch record for one pipeline execution: counted
+/// traffic before/after L2 reuse, prefetch-served bytes, occupancy/resident
+/// warps, the roofline decomposition, reduce stages, and the stall taxonomy.
+/// Shared by GpuDevice (counted stats) and the paper-scale analytic model
+/// (analytic stats) so both paths profile identically. The traced placement
+/// (sim_begin/sim_seconds) is left for Profiler::record / annotate_last.
+obs::KernelProfile kernel_profile_from(const DeviceSpec& spec, const KernelStats& stats,
+                                       const GpuTiming& timing, const Partition& partition);
 
 }  // namespace multihit

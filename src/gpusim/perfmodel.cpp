@@ -40,13 +40,20 @@ StallBreakdown stall_breakdown(const GpuTiming& timing) {
   //    (memory-bound at high occupancy => many outstanding transactions);
   //  - execution dependency covers the issue stalls of the AND/popcount
   //    chains, relatively larger when compute-bound.
+  // Inputs are clamped to their model ranges so the fraction invariants
+  // (each in [0, 1], summing to 1) hold for any GpuTiming, not just ones
+  // produced by model_gpu_time — the property test feeds adversarial
+  // profiles (e.g. mem_efficiency > 1) straight into this function.
   StallBreakdown s;
-  const double mem_pressure =
-      timing.memory_time / std::max(timing.memory_time + timing.compute_time, 1e-30);
-  const double latency_exposure = 1.0 - timing.mem_efficiency;
+  const double memory_time = std::max(timing.memory_time, 0.0);
+  const double compute_time = std::max(timing.compute_time, 0.0);
+  const double occupancy = std::clamp(timing.occupancy, 0.0, 1.0);
+  const double mem_efficiency = std::clamp(timing.mem_efficiency, 0.0, 1.0);
+  const double mem_pressure = memory_time / std::max(memory_time + compute_time, 1e-30);
+  const double latency_exposure = 1.0 - mem_efficiency;
 
   double memory_dependency = 0.30 + 0.45 * latency_exposure + 0.10 * mem_pressure;
-  double memory_throttle = 0.05 + 0.25 * mem_pressure * timing.occupancy;
+  double memory_throttle = 0.05 + 0.25 * mem_pressure * occupancy;
   double execution_dependency = 0.08 + 0.30 * (1.0 - mem_pressure);
 
   const double known = memory_dependency + memory_throttle + execution_dependency;

@@ -322,6 +322,13 @@ Tracer tracer_from_chrome(const JsonValue& doc) {
     } else if (ph == "i") {
       tracer.instant(lane, require_string(event, "name"), require_string(event, "cat"), ts,
                      parse_args(event));
+    } else if (ph == "C") {
+      const JsonValue* args = event.find("args");
+      const JsonValue* value = args ? args->find("value") : nullptr;
+      if (!value || !value->is_number()) {
+        throw AnalysisError("counter event without a numeric args.value");
+      }
+      tracer.counter(lane, require_string(event, "name"), ts, value->as_number());
     } else if (ph == "s") {
       const auto id = static_cast<std::int64_t>(require_number(event, "id"));
       SpanArgs args = parse_args(event);

@@ -31,6 +31,7 @@
 // makespan, and the *breakdown* is the insight.
 
 #include <cstdint>
+#include <map>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -102,9 +103,14 @@ TraceAnalysis analyze_trace(const Tracer& tracer);
 
 /// Reconstructs a Tracer from a Chrome trace-event document written by
 /// Tracer::chrome_trace (the --trace-out format): "X" spans, "i" instants,
-/// "M" lane names, and "s"/"f" flow pairs matched by id. Throws
-/// AnalysisError on documents that do not have that shape.
+/// "M" lane names, "C" counter samples, and "s"/"f" flow pairs matched by
+/// id. Throws AnalysisError on documents that do not have that shape.
 Tracer tracer_from_chrome(const JsonValue& doc);
+
+/// Counter totals from a parsed multihit.metrics.v1 snapshot, summed over
+/// label sets. Throws AnalysisError on wrong-schema documents. Shared by the
+/// analysis report's cross-check section and the profiler reconciliation.
+std::map<std::string, double> metrics_counter_totals(const JsonValue& metrics);
 
 // ------------------------------------------------------------------ reports
 // (implemented in report.cpp)

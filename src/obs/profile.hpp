@@ -1,0 +1,206 @@
+#pragma once
+// Device-level kernel profiler: NVPROF-style per-launch counter records.
+//
+// The span tracer (trace.hpp) shows *when* a kernel ran; this module records
+// *what the hardware did* during the launch — occupancy and resident warps,
+// the warp-stall taxonomy of paper Fig. 6c, counted global-memory traffic
+// before and after L2 row reuse, the MemOpt1/MemOpt2 prefetch-served bytes,
+// the roofline position (compute-time vs memory-time), and the
+// parallelReduceMax stage count. One KernelProfile is appended per simulated
+// pipeline launch (maxF + reduce) by GpuDevice::record_launch through the
+// Recorder seam; the cluster driver stamps each record with its rank / GPU
+// slot / greedy iteration context and with the jittered simulated-clock
+// placement so profile rows line up with the trace's gpu_kernel spans.
+//
+// Profiling is OFF by default even with a Recorder attached (enable() turns
+// it on) and, like the rest of the obs layer, never affects selections or
+// modeled times — the differential test in tests/test_profile.cpp enforces
+// bit-identical-off.
+//
+// The exported artifact is the deterministic `multihit.profile.v1` JSON
+// document (profile_report): the per-kernel table, per-rank×iteration
+// rollups, a device roofline summary, and a per-GPU tetrahedral-slab
+// workload heatmap. profile_crosscheck reconciles a profile against the
+// Chrome trace and the metrics registry from the same run — the three
+// artifacts describe one simulation and must agree exactly (see DESIGN.md
+// §10 for the reconciliation rules).
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace multihit::obs {
+
+class Tracer;
+
+inline constexpr std::string_view kProfileSchema = "multihit.profile.v1";
+
+/// Raised on structurally invalid profile documents (wrong schema, missing
+/// kernel fields). Malformed JSON raises JsonParseError earlier.
+class ProfileError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// The device constants a profile was priced against, echoed into the report
+/// so roofline positions are interpretable offline. Mirrors DeviceSpec
+/// without depending on gpusim (obs is a leaf library).
+struct ProfileDevice {
+  std::uint32_t sm_count = 0;
+  std::uint32_t max_threads_per_sm = 0;
+  std::uint32_t block_size = 0;
+  std::uint32_t warp_size = 0;
+  double dram_bandwidth = 0.0;  ///< B/s achievable
+  double word_op_rate = 0.0;    ///< 64-bit word ops/s
+  double l2_reuse = 0.0;        ///< counted-to-DRAM traffic ratio
+
+  /// Roofline ridge point: word-ops per DRAM byte above which a kernel is
+  /// compute-bound.
+  double ridge_ops_per_byte() const noexcept {
+    return dram_bandwidth > 0.0 ? word_op_rate / dram_bandwidth : 0.0;
+  }
+};
+
+/// One simulated pipeline launch (maxF + parallelReduceMax) with its
+/// hardware-counter view.
+struct KernelProfile {
+  // Launch context, stamped from Profiler::set_context (all zero for
+  // standalone single-device runs).
+  std::uint32_t rank = 0;       ///< MPI rank (node) that drove the launch
+  std::uint32_t gpu = 0;        ///< fleet-wide GPU slot (unit index)
+  std::uint32_t iteration = 0;  ///< greedy iteration
+  bool recovery = false;        ///< re-run of a dead rank's λ range
+  bool lost = false;            ///< the launching rank crashed this iteration
+
+  // Tetrahedral-slab workload: threads [lambda_begin, lambda_end) of the
+  // scheme's flattened combination space.
+  std::uint64_t lambda_begin = 0;
+  std::uint64_t lambda_end = 0;
+  std::uint64_t combinations = 0;
+  std::uint64_t blocks = 0;        ///< maxF blocks launched
+  std::uint32_t reduce_stages = 0; ///< parallelReduceMax halving sweeps
+
+  // Counted traffic.
+  std::uint64_t word_ops = 0;        ///< AND+popcount word operations
+  std::uint64_t candidate_bytes = 0; ///< per-block candidate list footprint
+  double global_bytes = 0.0;   ///< counted global-memory bytes (pre-L2-reuse)
+  double dram_bytes = 0.0;     ///< bytes reaching DRAM (post-L2-reuse)
+  double local_bytes = 0.0;    ///< MemOpt1/2 prefetch-served bytes
+
+  // Device-model profile (un-jittered).
+  double occupancy = 0.0;
+  double resident_warps = 0.0;      ///< occupancy × device warp capacity
+  double mem_efficiency = 0.0;      ///< achieved fraction of peak bandwidth
+  double compute_seconds = 0.0;     ///< op-throughput roofline
+  double memory_seconds = 0.0;      ///< bandwidth roofline
+  double reduce_seconds = 0.0;
+  double overhead_seconds = 0.0;
+  double modeled_seconds = 0.0;     ///< total modeled launch time
+  bool memory_bound = false;
+  double dram_throughput = 0.0;     ///< achieved B/s over the launch
+  double arithmetic_intensity = 0.0;///< word_ops per DRAM byte
+
+  // Simulated-clock placement as traced (jitter/noise/straggle applied by
+  // the cluster driver); defaults to the un-jittered model for standalone
+  // device runs.
+  double sim_begin = 0.0;
+  double sim_seconds = 0.0;
+
+  // Warp-stall taxonomy fractions (paper Fig. 6c); sum to 1.
+  double stall_memory_dependency = 0.0;
+  double stall_memory_throttle = 0.0;
+  double stall_execution_dependency = 0.0;
+  double stall_other = 0.0;
+};
+
+/// Context the cluster driver sets before each device launch.
+struct LaunchContext {
+  std::uint32_t rank = 0;
+  std::uint32_t gpu = 0;
+  std::uint32_t iteration = 0;
+  bool recovery = false;
+};
+
+/// Per-run launch-record collector, bundled into Recorder next to the
+/// metrics registry and the tracer. Recording is append-only and reads
+/// simulated state only — it never advances clocks or changes results.
+class Profiler {
+ public:
+  void enable(bool on = true) noexcept { enabled_ = on; }
+  bool enabled() const noexcept { return enabled_; }
+
+  void set_context(const LaunchContext& context) noexcept { context_ = context; }
+  const LaunchContext& context() const noexcept { return context_; }
+
+  void set_device(const ProfileDevice& device) noexcept { device_ = device; }
+  const ProfileDevice& device() const noexcept { return device_; }
+
+  /// Appends one launch record, stamping the current context. No-op when
+  /// profiling is disabled.
+  void record(KernelProfile profile);
+
+  /// Sets the simulated-clock placement of the most recent record (the
+  /// cluster applies jitter/noise/straggle after the device returns). No-op
+  /// when disabled or empty.
+  void annotate_last(double sim_begin, double sim_seconds);
+
+  /// Marks every non-recovery record of (rank, iteration) as lost — called
+  /// when that rank crashes mid-compute and its candidates are discarded.
+  void mark_node_lost(std::uint32_t rank, std::uint32_t iteration);
+
+  const std::vector<KernelProfile>& records() const noexcept { return records_; }
+  std::size_t size() const noexcept { return records_.size(); }
+  bool empty() const noexcept { return records_.empty(); }
+
+ private:
+  bool enabled_ = false;
+  LaunchContext context_;
+  ProfileDevice device_;
+  std::vector<KernelProfile> records_;
+};
+
+// ---------------------------------------------------------------- artifacts
+
+/// The multihit.profile.v1 document: device constants, the per-kernel table,
+/// per-rank×iteration rollups, per-rank totals, a roofline summary, and the
+/// per-GPU workload heatmap. Deterministic: byte-identical profilers render
+/// byte-identical documents, and every derived section is recomputed from
+/// the kernel table (so a round-tripped document re-renders byte-identically).
+JsonValue profile_report(const Profiler& profiler);
+
+/// Reconstructs a Profiler (records + device info, profiling enabled) from a
+/// profile_report document. Throws ProfileError on wrong-schema or
+/// ill-formed documents.
+Profiler profiler_from_json(const JsonValue& doc);
+
+/// Human-readable summary `multihit-obstool profile` prints: totals, the
+/// roofline/stall overview, and (unless summary_only) the per-rank×iteration
+/// rollup table.
+std::string profile_text(const Profiler& profiler, bool summary_only = false);
+
+/// Per-kernel roofline scatter (CSV): arithmetic intensity vs achieved
+/// word-op and DRAM rates, one row per launch. Feed to any plotting tool.
+std::string roofline_csv(const Profiler& profiler);
+
+/// Per-GPU×iteration workload heatmap (CSV): kernels, combinations, DRAM
+/// bytes, and simulated seconds per cell — the counter-level EA-vs-ED
+/// imbalance view.
+std::string heatmap_csv(const Profiler& profiler);
+
+/// Reconciles a profile against the Chrome trace and/or metrics snapshot of
+/// the same run. Returns human-readable mismatch descriptions; empty means
+/// the artifacts agree. Rules (DESIGN.md §10):
+///  - metrics: gpu.kernel_launches == 2 × records; gpu.blocks /
+///    gpu.combinations / gpu.dram_bytes / gpu.candidate_bytes equal the
+///    record sums exactly (identical accumulation order);
+///  - trace: per rank lane, the multiset of gpu_kernel spans (count and
+///    exact per-span global_bytes arg) equals the multiset of that rank's
+///    records; span durations match sim_seconds to trace precision.
+std::vector<std::string> profile_crosscheck(const Profiler& profiler, const Tracer* trace,
+                                            const JsonValue* metrics);
+
+}  // namespace multihit::obs

@@ -19,8 +19,9 @@ std::string fmt(const char* format, double value) {
   return buf;
 }
 
-/// Counters from a multihit.metrics.v1 snapshot, summed over label sets.
-std::map<std::string, double> counter_totals(const JsonValue& metrics) {
+}  // namespace
+
+std::map<std::string, double> metrics_counter_totals(const JsonValue& metrics) {
   const JsonValue* schema = metrics.find("schema");
   if (!schema || !schema->is_string() || schema->as_string() != kMetricsSchema) {
     throw AnalysisError("metrics document is not a " + std::string(kMetricsSchema) +
@@ -42,8 +43,6 @@ std::map<std::string, double> counter_totals(const JsonValue& metrics) {
   }
   return totals;
 }
-
-}  // namespace
 
 JsonValue analysis_report(const TraceAnalysis& analysis, const JsonValue* metrics) {
   JsonValue doc = JsonValue::object();
@@ -110,7 +109,7 @@ JsonValue analysis_report(const TraceAnalysis& analysis, const JsonValue* metric
 
   if (metrics) {
     JsonValue totals = JsonValue::array();
-    for (const auto& [name, value] : counter_totals(*metrics)) {
+    for (const auto& [name, value] : metrics_counter_totals(*metrics)) {
       JsonValue entry = JsonValue::object();
       entry.set("name", JsonValue(name));
       entry.set("value", JsonValue(value));

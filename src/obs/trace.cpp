@@ -48,6 +48,13 @@ void Tracer::flow(std::uint32_t from_lane, double from_time, std::uint32_t to_la
                             from_time, to_time, binding, std::move(args)});
 }
 
+void Tracer::counter(std::uint32_t lane, std::string_view name, double at, double value) {
+  if (!std::isfinite(at) || !std::isfinite(value)) {
+    throw std::invalid_argument("Tracer::counter: timestamp and value must be finite");
+  }
+  counters_.push_back(CounterSample{std::string(name), lane, at, value});
+}
+
 void Tracer::set_lane_name(std::uint32_t lane, std::string_view name) {
   for (auto& [l, n] : lane_names_) {
     if (l == lane) {
@@ -124,6 +131,23 @@ JsonValue Tracer::chrome_trace() const {
       entry.set("dur", JsonValue(event->duration() * kMicros));
     }
     if (!event->args.empty()) entry.set("args", args_json(event->args));
+    trace_events.push_back(std::move(entry));
+  }
+
+  // Counter-track samples after the spans, in insertion order. Chrome "C"
+  // events carry the sampled value as a *number* in args (unlike span args,
+  // which this exporter keeps as strings).
+  for (const CounterSample& sample : counters_) {
+    JsonValue entry;
+    entry.set("name", JsonValue(sample.name));
+    entry.set("cat", JsonValue("counter"));
+    entry.set("ph", JsonValue("C"));
+    entry.set("pid", JsonValue(0));
+    entry.set("tid", JsonValue(static_cast<double>(sample.lane)));
+    entry.set("ts", JsonValue(sample.at * kMicros));
+    JsonValue args;
+    args.set("value", JsonValue(sample.value));
+    entry.set("args", std::move(args));
     trace_events.push_back(std::move(entry));
   }
 

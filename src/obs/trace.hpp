@@ -54,6 +54,16 @@ struct TraceEvent {
   double duration() const noexcept { return end - begin; }
 };
 
+/// One sample of a numeric counter track (occupancy, DRAM throughput).
+/// Exported as Chrome "C" events: Perfetto renders each (lane, name) pair as
+/// a step-function strip under the lane's spans.
+struct CounterSample {
+  std::string name;
+  std::uint32_t lane = 0;
+  double at = 0.0;     ///< simulated seconds
+  double value = 0.0;
+};
+
 /// One dependency edge between lanes: a message departing `from_lane` at
 /// `from_time` and landing on `to_lane` at `to_time`. Exported as a Chrome
 /// flow-event pair ("s"/"f" phases — Perfetto draws them as arrows) and
@@ -100,11 +110,18 @@ class Tracer {
             std::string_view name, std::string_view category, bool binding,
             SpanArgs args = {});
 
+  /// Records a counter-track sample: `name` on `lane` holds `value` from
+  /// `at` until the next sample. Counters live outside the span stream (a
+  /// sample between two spans does not break the per-lane monotone append
+  /// invariant). Throws std::invalid_argument on non-finite inputs.
+  void counter(std::uint32_t lane, std::string_view name, double at, double value);
+
   /// Human-readable lane name for the viewer ("rank 3", "engine").
   void set_lane_name(std::uint32_t lane, std::string_view name);
 
   const std::vector<TraceEvent>& events() const noexcept { return events_; }
   const std::vector<FlowEdge>& flows() const noexcept { return flows_; }
+  const std::vector<CounterSample>& counters() const noexcept { return counters_; }
   const std::vector<std::pair<std::uint32_t, std::string>>& lane_names() const noexcept {
     return lane_names_;
   }
@@ -131,6 +148,7 @@ class Tracer {
  private:
   std::vector<TraceEvent> events_;
   std::vector<FlowEdge> flows_;
+  std::vector<CounterSample> counters_;
   std::vector<std::pair<std::uint32_t, std::string>> lane_names_;
 };
 

@@ -31,6 +31,10 @@ obs::Tracer two_rank_tracer() {
   tracer.complete(1, "mpi_reduce", "comm", 2.0, 2.25);
   tracer.complete(0, "mpi_broadcast", "comm", 2.5, 2.75);
   tracer.instant(1, "fault.crash", "fault", 0.5);
+  // Counter tracks ride the same export/import path as spans.
+  tracer.counter(0, "occupancy", 0.0, 0.75);
+  tracer.counter(0, "occupancy", 1.0, 0.0);
+  tracer.counter(1, "dram_throughput", 0.0, 512.0);
   // Rank 0 finished reducing at 1.25 and then waited for the straggler's
   // candidate: this edge is binding and carries the critical path to lane 1.
   tracer.flow(1, 2.25, 0, 2.5, "reduce", "comm", /*binding=*/true, {{"bytes", "20"}});
@@ -172,6 +176,14 @@ TEST(AnalyzeOffline, RejectsDocumentsThatAreNotTraces) {
   // Span with a non-string arg value.
   EXPECT_THROW(analyze("{\"traceEvents\":[{\"ph\":\"X\",\"name\":\"x\",\"cat\":\"t\","
                        "\"tid\":0,\"ts\":0,\"dur\":1,\"args\":{\"n\":3}}]}"),
+               obs::AnalysisError);
+  // Counter event without a numeric args.value.
+  EXPECT_THROW(analyze("{\"traceEvents\":[{\"ph\":\"C\",\"name\":\"occupancy\","
+                       "\"cat\":\"counter\",\"tid\":0,\"ts\":0,"
+                       "\"args\":{\"value\":\"high\"}}]}"),
+               obs::AnalysisError);
+  EXPECT_THROW(analyze("{\"traceEvents\":[{\"ph\":\"C\",\"name\":\"occupancy\","
+                       "\"cat\":\"counter\",\"tid\":0,\"ts\":0,\"args\":{}}]}"),
                obs::AnalysisError);
   // Unpaired flows: a start without a finish, a finish without a start, and
   // two starts sharing an id.

@@ -256,6 +256,50 @@ TEST(ObsTrace, ChromeTraceShapeAndMicroseconds) {
   EXPECT_TRUE(saw_instant);
 }
 
+TEST(ObsTrace, CounterTracksExportAsChromeCEvents) {
+  obs::Tracer tracer;
+  tracer.complete(2, "compute", "compute", 0.0, 1.0);
+  tracer.counter(2, "occupancy", 0.25, 0.875);
+  tracer.counter(2, "occupancy", 1.0, 0.0);
+
+  ASSERT_EQ(tracer.counters().size(), 2u);
+  EXPECT_EQ(tracer.counters()[0].name, "occupancy");
+  EXPECT_EQ(tracer.counters()[0].lane, 2u);
+  EXPECT_DOUBLE_EQ(tracer.counters()[0].at, 0.25);
+  EXPECT_DOUBLE_EQ(tracer.counters()[0].value, 0.875);
+  // Counters sit outside the span stream, so they never break the per-lane
+  // monotone append invariant even when sampled between spans.
+  EXPECT_TRUE(tracer.per_lane_monotone());
+
+  const JsonValue doc = JsonValue::parse(tracer.to_chrome_json());
+  const JsonValue* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  std::size_t seen = 0;
+  for (std::size_t i = 0; i < events->size(); ++i) {
+    const JsonValue& e = events->at(i);
+    if (e.find("ph")->as_string() != "C") continue;
+    if (seen == 0) {
+      EXPECT_EQ(e.find("name")->as_string(), "occupancy");
+      EXPECT_DOUBLE_EQ(e.find("tid")->as_number(), 2.0);
+      EXPECT_DOUBLE_EQ(e.find("ts")->as_number(), 0.25e6);  // microseconds
+      EXPECT_DOUBLE_EQ(e.find("args")->find("value")->as_number(), 0.875);
+    }
+    ++seen;
+  }
+  EXPECT_EQ(seen, 2u);
+}
+
+TEST(ObsTrace, CounterRejectsNonFiniteInputs) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  obs::Tracer tracer;
+  EXPECT_THROW(tracer.counter(0, "c", nan, 1.0), std::invalid_argument);
+  EXPECT_THROW(tracer.counter(0, "c", 0.0, nan), std::invalid_argument);
+  EXPECT_THROW(tracer.counter(0, "c", inf, 1.0), std::invalid_argument);
+  EXPECT_THROW(tracer.counter(0, "c", 0.0, -inf), std::invalid_argument);
+  EXPECT_TRUE(tracer.counters().empty());
+}
+
 // ------------------------------------------------------------ bench reporter
 
 TEST(ObsBench, RecordSchemaAndEnvOutputDir) {
@@ -343,6 +387,7 @@ TEST(ObsDifferential, TracingLeavesRunBitIdentical) {
   // The recorder actually observed the run, and its trace is well-formed.
   EXPECT_FALSE(rec.trace.empty());
   EXPECT_TRUE(rec.trace.per_lane_monotone());
+  EXPECT_FALSE(rec.trace.counters().empty());  // per-rank occupancy/DRAM tracks
   EXPECT_GT(rec.metrics.counter("cluster.iterations").value(), 0.0);
   EXPECT_GT(rec.metrics.counter("engine.iterations").value(), 0.0);
   EXPECT_GT(rec.metrics.counter("gpu.kernel_launches").value(), 0.0);

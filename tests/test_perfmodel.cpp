@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "util/rng.hpp"
+
 namespace multihit {
 namespace {
 
@@ -93,6 +95,32 @@ TEST(PerfModel, MemoryDependencyDominatesWhenStarved) {
   EXPECT_GT(s.memory_dependency, s.memory_throttle);
   EXPECT_GT(s.memory_dependency, s.execution_dependency);
   EXPECT_GT(s.memory_dependency, 0.4);
+}
+
+TEST(PerfModel, StallBreakdownIsAPartitionOnRandomizedTimings) {
+  // Property: for ANY GpuTiming — including adversarial hand-built profiles a
+  // corrupted multihit.profile.v1 artifact could replay through the offline
+  // tooling (negative times, occupancy outside [0,1]) — the taxonomy stays a
+  // partition: every fraction in [0,1] and the four summing to 1 (+-1e-9).
+  Rng rng(0xF16C5ULL);
+  for (int trial = 0; trial < 2000; ++trial) {
+    GpuTiming t;
+    t.compute_time = (rng.uniform_double() - 0.25) * 1e3;   // 25% negative
+    t.memory_time = (rng.uniform_double() - 0.25) * 1e3;
+    t.occupancy = rng.uniform_double() * 2.0 - 0.5;         // strays past [0,1]
+    t.mem_efficiency = rng.uniform_double() * 2.0 - 0.5;
+    t.memory_bound = rng.bernoulli(0.5);
+    t.time = t.compute_time + t.memory_time;
+    const auto s = stall_breakdown(t);
+    const double sum =
+        s.memory_dependency + s.memory_throttle + s.execution_dependency + s.other;
+    EXPECT_NEAR(sum, 1.0, 1e-9) << "trial " << trial;
+    for (const double f :
+         {s.memory_dependency, s.memory_throttle, s.execution_dependency, s.other}) {
+      EXPECT_GE(f, 0.0) << "trial " << trial;
+      EXPECT_LE(f, 1.0) << "trial " << trial;
+    }
+  }
 }
 
 TEST(PerfModel, ExecutionDependencyRisesWhenComputeBound) {

@@ -4,6 +4,8 @@
 
 #include <vector>
 
+#include "gpusim/perfmodel.hpp"
+
 namespace multihit {
 namespace {
 
@@ -122,6 +124,49 @@ TEST(SmSim, CrossValidatesAnalyticLatencyHidingShape) {
   EXPECT_LT(rates[1], rates[2]);
   // Concavity: quadrupling warps less than quadruples the rate near the cap.
   EXPECT_LT(rates[2] / rates[1], 4.0);
+}
+
+TEST(SmSim, StallAttributionMatchesAnalyticTaxonomyOrdering) {
+  // Satellite crosscheck for the profiler's stall taxonomy: on the
+  // tab_sm_latency_hiding sweep (V100-shaped SM, the 3x1 kernels' ~24-ops-
+  // per-load mix), the cycle-level scheduler and the analytic
+  // stall_breakdown must agree on the SHAPE of Fig. 6c — memory-dependency
+  // stalls dominate at low occupancy and fall monotonically as resident
+  // warps rise.
+  SmConfig config;  // paper-scale latency, not fast_config()
+  config.memory_latency = 400;
+  config.max_outstanding_requests = 64;
+  const DeviceSpec spec = DeviceSpec::v100();
+
+  const std::vector<std::size_t> warp_counts{2, 8, 32, 64};
+  std::vector<double> simulated, analytic;
+  for (const std::size_t w : warp_counts) {
+    std::vector<WarpWork> warps(w, WarpWork{4800, 200});
+    const SmResult r = simulate_sm(config, warps);
+    simulated.push_back(static_cast<double>(r.stall_memory_dependency) /
+                        static_cast<double>(r.cycles));
+
+    // The analytic timing at matching occupancy (w warps on each of the 80
+    // SMs) and the same per-thread op/traffic mix.
+    KernelStats stats;
+    const std::uint64_t threads =
+        static_cast<std::uint64_t>(w) * spec.warp_size * spec.sm_count;
+    stats.word_ops = threads * 4800;
+    stats.global_words = threads * 200;
+    stats.combinations = threads;
+    const GpuTiming t = model_gpu_time(spec, stats, threads);
+    EXPECT_NEAR(t.occupancy, static_cast<double>(w) / 64.0, 1e-12);
+    analytic.push_back(stall_breakdown(t).memory_dependency);
+  }
+
+  for (std::size_t i = 0; i + 1 < warp_counts.size(); ++i) {
+    EXPECT_GT(simulated[i], simulated[i + 1]) << "simulated not decreasing at " << i;
+    EXPECT_GT(analytic[i], analytic[i + 1]) << "analytic not decreasing at " << i;
+  }
+  // At starved occupancy both attribute the majority of cycles to memory
+  // dependency — the paper's diagnosis of the slow 2x2 GPUs.
+  EXPECT_GT(simulated.front(), 0.5);
+  EXPECT_GT(analytic.front(), 0.5);
 }
 
 }  // namespace
