@@ -1,9 +1,10 @@
 // BRCA scale-out: the paper's headline experiment end-to-end.
 //
 //   $ ./examples/brca_scaleout [nodes] [--crash R@I[:F]] [--straggle R@I:F]
-//                              [--drop R@I:N] [--checkpoint N]
+//                              [--drop R@I:N] [--abort I] [--checkpoint N]
 //                              [--trace-out FILE] [--metrics-out FILE]
 //                              [--report-out FILE] [--profile-out FILE]
+//                              [--health-out FILE] [--truth-out FILE]
 //                              [--log-level LEVEL]
 //
 // Observability: `--trace-out run.trace.json` writes a Chrome trace-event
@@ -18,6 +19,11 @@
 // and writes the multihit.profile.v1 artifact (read it with
 // `multihit-obstool profile`). `--profile-out` requires instrumentation:
 // pass it together with at least one of the other three output flags.
+// `--health-out run.health.json` replays the run's trace through the health
+// monitor (src/obs/monitor.hpp) and writes the multihit.health.v1 incident
+// report — the same document `multihit-obstool monitor` produces offline —
+// and `--truth-out run.truth.json` exports the injected-fault ground truth
+// (multihit.truth.v1) the monitor's detectors can be scored against.
 // All are deterministic: timestamps are simulated seconds, so identical runs
 // produce byte-identical files.
 //
@@ -50,7 +56,9 @@
 #include "cluster/scaling.hpp"
 #include "core/engine.hpp"
 #include "data/registry.hpp"
+#include "fault/injector.hpp"
 #include "obs/analyze.hpp"
+#include "obs/monitor.hpp"
 #include "obs/recorder.hpp"
 #include "util/log.hpp"
 #include "util/table.hpp"
@@ -59,9 +67,10 @@ namespace {
 
 [[noreturn]] void usage() {
   std::cerr << "usage: brca_scaleout [nodes] [--crash R@I[:F]] [--straggle R@I:F]\n"
-               "                     [--drop R@I:N] [--checkpoint N]\n"
+               "                     [--drop R@I:N] [--abort I] [--checkpoint N]\n"
                "                     [--trace-out FILE] [--metrics-out FILE]\n"
                "                     [--report-out FILE] [--profile-out FILE]\n"
+               "                     [--health-out FILE] [--truth-out FILE]\n"
                "                     [--log-level LEVEL]\n";
   std::exit(1);
 }
@@ -72,7 +81,7 @@ int main(int argc, char** argv) {
   using namespace multihit;
   std::uint32_t nodes = 4;
   DistributedOptions options;  // 4-hit, 3x1, EA, both prefetches, splicing
-  std::string trace_out, metrics_out, report_out, profile_out;
+  std::string trace_out, metrics_out, report_out, profile_out, health_out, truth_out;
 
   for (int a = 1; a < argc; ++a) {
     const std::string arg = argv[a];
@@ -94,6 +103,9 @@ int main(int argc, char** argv) {
     } else if (arg == "--drop") {
       if (std::sscanf(next(), "%u@%u:%u", &rank, &iter, &count) != 3) usage();
       options.faults.events.push_back({FaultKind::kMessageDrop, rank, iter, 0.0, count});
+    } else if (arg == "--abort") {
+      if (std::sscanf(next(), "%u", &iter) != 1) usage();
+      options.faults.events.push_back({FaultKind::kJobAbort, 0, iter, 0.0, 1});
     } else if (arg == "--checkpoint") {
       options.checkpoint_every = static_cast<std::uint32_t>(std::atoi(next()));
     } else if (arg == "--trace-out") {
@@ -104,6 +116,10 @@ int main(int argc, char** argv) {
       report_out = next();
     } else if (arg == "--profile-out") {
       profile_out = next();
+    } else if (arg == "--health-out") {
+      health_out = next();
+    } else if (arg == "--truth-out") {
+      truth_out = next();
     } else if (arg == "--log-level") {
       const char* name = next();
       const auto level = log::parse_level(name);
@@ -149,7 +165,8 @@ int main(int argc, char** argv) {
   config.nodes = nodes;
   const ClusterRunner runner(config);
   obs::Recorder recorder;
-  if (!trace_out.empty() || !metrics_out.empty() || !report_out.empty()) {
+  if (!trace_out.empty() || !metrics_out.empty() || !report_out.empty() ||
+      !health_out.empty()) {
     options.recorder = &recorder;
   }
   if (!profile_out.empty()) {
@@ -207,6 +224,33 @@ int main(int argc, char** argv) {
     std::cout << "  kernel profile written to " << profile_out << " ("
               << recorder.profile.size()
               << " launch records; read with multihit-obstool profile)\n";
+  }
+  if (!health_out.empty()) {
+    // Monitor the trace exactly as the offline tool will see it — serialized
+    // to Chrome format (microsecond timestamps) and parsed back — so the
+    // in-process document is byte-identical to an obstool monitor replay.
+    const obs::Tracer replay =
+        obs::tracer_from_chrome(obs::JsonValue::parse(recorder.trace.to_chrome_json()));
+    const obs::HealthReport health = obs::monitor_trace(replay);
+    std::ofstream out(health_out);
+    if (out) out << obs::health_report(health).dump() << '\n';
+    if (!out) {
+      std::cerr << "error: cannot write health report to " << health_out << "\n";
+      return 1;
+    }
+    std::cout << "  health report written to " << health_out << " ("
+              << health.incidents.size()
+              << " incident(s); read with multihit-obstool monitor)\n";
+  }
+  if (!truth_out.empty()) {
+    std::ofstream out(truth_out);
+    if (out) out << obs::truth_json(truth_events(distributed.fault_events)).dump() << '\n';
+    if (!out) {
+      std::cerr << "error: cannot write fault ground truth to " << truth_out << "\n";
+      return 1;
+    }
+    std::cout << "  fault ground truth written to " << truth_out << " ("
+              << distributed.fault_events.size() << " event(s))\n";
   }
 
   EngineConfig serial_config;

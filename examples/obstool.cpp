@@ -5,6 +5,10 @@
 //   $ multihit-obstool profile run.profile.json [run.trace.json] [run.metrics.json]
 //                      [--report-out FILE] [--roofline-out FILE]
 //                      [--heatmap-out FILE] [--summary] [--quiet]
+//   $ multihit-obstool monitor run.trace.json [run.metrics.json]
+//                      [--health-out FILE] [--rules FILE] [--sample-every S]
+//                      [--truth FILE] [--truth-window S] [--annotate-out FILE]
+//                      [--summary] [--quiet]
 //
 // `analyze` loads a --trace-out Chrome trace (and optionally a --metrics-out
 // snapshot), runs the trace analytics engine (critical path, per-phase
@@ -22,19 +26,37 @@
 // them — per-rank kernel counts, counted DRAM bytes, and traced durations
 // must agree exactly (see DESIGN.md §10) — and any mismatch exits 1.
 //
+// `monitor` replays the trace through the health monitor (sampler, alert
+// rules, built-in failure-mode detectors — see src/obs/monitor.hpp) and
+// prints the incident log (`--summary` stops after the per-rule counts).
+// `--health-out` writes the multihit.health.v1 document, `--rules` loads a
+// declarative alert-rule file, `--sample-every` overrides the boundary
+// cadence. With a metrics snapshot the incidents are cross-checked against
+// its counters (mismatch exits 1). `--truth FILE` scores the incidents
+// against an injected-fault ground-truth document (multihit.truth.v1, from
+// brca_scaleout --truth-out) within `--truth-window` seconds, exiting 1
+// unless recall is total and no built-in detector false-fired.
+// `--annotate-out` writes a copy of the trace with one "health.<rule>"
+// instant per incident for the Chrome/Perfetto viewer.
+//
 // All outputs are deterministic: processing the same files twice produces
 // byte-identical artifacts, which scripts/ci.sh uses as the determinism
 // gate.
 //
-// Exit status: 0 on success, 1 on unreadable/malformed/ill-shaped inputs,
-// unwritable outputs, or failed profile reconciliation.
+// Exit status: 0 on success; 2 on a usage error (unknown subcommand, missing
+// operand, bad flag — usage goes to stderr); 1 on runtime failures
+// (unreadable/malformed/ill-shaped inputs, unwritable outputs, failed
+// profile reconciliation, health crosscheck mismatches, imperfect truth
+// scores).
 
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
 
 #include "obs/analyze.hpp"
+#include "obs/monitor.hpp"
 #include "obs/profile.hpp"
 
 namespace {
@@ -44,8 +66,12 @@ namespace {
                "                        [--report-out FILE] [--folded-out FILE] [--quiet]\n"
                "       multihit-obstool profile PROFILE.json [TRACE.json] [METRICS.json]\n"
                "                        [--report-out FILE] [--roofline-out FILE]\n"
-               "                        [--heatmap-out FILE] [--summary] [--quiet]\n";
-  std::exit(1);
+               "                        [--heatmap-out FILE] [--summary] [--quiet]\n"
+               "       multihit-obstool monitor TRACE.json [METRICS.json]\n"
+               "                        [--health-out FILE] [--rules FILE] [--sample-every S]\n"
+               "                        [--truth FILE] [--truth-window S] [--annotate-out FILE]\n"
+               "                        [--summary] [--quiet]\n";
+  std::exit(2);
 }
 
 std::string read_file(const std::string& path) {
@@ -204,6 +230,96 @@ int run_profile(int argc, char** argv) {
   return 0;
 }
 
+int run_monitor(int argc, char** argv) {
+  using namespace multihit::obs;
+  std::string trace_path, metrics_path;
+  std::string health_out, rules_path, truth_path, annotate_out;
+  MonitorOptions options;
+  double truth_window = 0.25;
+  bool summary = false, quiet = false;
+  for (int a = 2; a < argc; ++a) {
+    const std::string arg = argv[a];
+    const auto next = [&]() -> const char* {
+      if (a + 1 >= argc) usage();
+      return argv[++a];
+    };
+    if (arg == "--health-out") {
+      health_out = next();
+    } else if (arg == "--rules") {
+      rules_path = next();
+    } else if (arg == "--sample-every") {
+      options.sample_every = std::atof(next());
+    } else if (arg == "--truth") {
+      truth_path = next();
+    } else if (arg == "--truth-window") {
+      truth_window = std::atof(next());
+    } else if (arg == "--annotate-out") {
+      annotate_out = next();
+    } else if (arg == "--summary") {
+      summary = true;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      usage();
+    } else if (trace_path.empty()) {
+      trace_path = arg;
+    } else if (metrics_path.empty()) {
+      metrics_path = arg;
+    } else {
+      usage();
+    }
+  }
+  if (trace_path.empty()) usage();
+
+  try {
+    Tracer tracer = tracer_from_chrome(JsonValue::parse(read_file(trace_path)));
+    if (!rules_path.empty()) options.rules = parse_rules(read_file(rules_path));
+
+    const HealthReport report = monitor_trace(tracer, options);
+
+    if (!health_out.empty() &&
+        !write_file(health_out, health_report(report).dump() + "\n")) {
+      std::cerr << "error: cannot write health report to " << health_out << "\n";
+      return 1;
+    }
+    if (!annotate_out.empty()) {
+      annotate_trace(tracer, report);
+      if (!write_file(annotate_out, tracer.to_chrome_json())) {
+        std::cerr << "error: cannot write annotated trace to " << annotate_out << "\n";
+        return 1;
+      }
+    }
+    if (!quiet) std::cout << health_text(report, summary);
+
+    if (!metrics_path.empty()) {
+      const JsonValue metrics_doc = JsonValue::parse(read_file(metrics_path));
+      const std::vector<std::string> mismatches = health_crosscheck(report, metrics_doc);
+      if (!mismatches.empty()) {
+        for (const std::string& mismatch : mismatches) {
+          std::cerr << "health crosscheck mismatch: " << mismatch << "\n";
+        }
+        return 1;
+      }
+      if (!quiet) std::cout << "crosscheck: incidents agree with metrics counters\n";
+    }
+
+    if (!truth_path.empty()) {
+      const std::vector<TruthEvent> truth =
+          truth_from_json(JsonValue::parse(read_file(truth_path)));
+      const HealthScore score = score_incidents(report, truth, truth_window);
+      if (!quiet) std::cout << score_text(score);
+      if (!score.perfect()) {
+        std::cerr << "error: detectors scored imperfectly against ground truth\n";
+        return 1;
+      }
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -211,5 +327,6 @@ int main(int argc, char** argv) {
   const std::string command = argv[1];
   if (command == "analyze") return run_analyze(argc, argv);
   if (command == "profile") return run_profile(argc, argv);
+  if (command == "monitor") return run_monitor(argc, argv);
   usage();
 }

@@ -27,7 +27,8 @@ done
 bench_dir="build/bench_records"
 mkdir -p "$bench_dir"
 echo "=== bench records ==="
-for bench in fig4_scaling fig6_util_2x2 fig7_util_3x1 fig8_comm_overhead tab_fault_overhead; do
+for bench in fig4_scaling fig6_util_2x2 fig7_util_3x1 fig8_comm_overhead \
+             tab_fault_overhead tab_detection_latency; do
   MULTIHIT_BENCH_DIR="$bench_dir" "build/bench/$bench" > /dev/null
 done
 # fig5 is a google-benchmark binary; skip the measured part (filter matches
@@ -97,5 +98,29 @@ if build/examples/brca_scaleout 4 --profile-out "$obs_dir/reject.profile.json" \
   exit 1
 fi
 echo "kernel profile deterministic and reconciled"
+
+# Health-monitor smoke: inject one crash, require exactly one dead-rank
+# incident, score the incidents against the emitted ground truth (obstool
+# exits 1 on anything short of full recall / zero false positives), and gate
+# the multihit.health.v1 byte-identity invariant — the in-process document
+# (--health-out, which monitors the Chrome-replayed trace) must be
+# byte-identical to an offline `obstool monitor` replay of the same trace.
+echo "=== health monitor smoke ==="
+build/examples/brca_scaleout 4 --crash 1@1 --checkpoint 2 \
+  --trace-out "$obs_dir/health.trace.json" \
+  --metrics-out "$obs_dir/health.metrics.json" \
+  --health-out "$obs_dir/inproc.health.json" \
+  --truth-out "$obs_dir/health.truth.json" > /dev/null
+build/examples/multihit-obstool monitor \
+  "$obs_dir/health.trace.json" "$obs_dir/health.metrics.json" \
+  --health-out "$obs_dir/offline.health.json" \
+  --truth "$obs_dir/health.truth.json" > "$obs_dir/health.summary.txt"
+cmp "$obs_dir/inproc.health.json" "$obs_dir/offline.health.json"
+if [ "$(grep -c 'dead_rank: 1 incident' "$obs_dir/health.summary.txt")" -ne 1 ]; then
+  echo "ERROR: expected exactly one dead-rank incident:" >&2
+  cat "$obs_dir/health.summary.txt" >&2
+  exit 1
+fi
+echo "health monitor byte-identical (in-process and offline), truth score perfect"
 
 echo "=== all presets green ==="

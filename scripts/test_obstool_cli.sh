@@ -1,0 +1,82 @@
+#!/bin/sh
+# multihit-obstool CLI contract test.
+#
+#   usage errors   -> exit 2, usage text on stderr, nothing on stdout
+#   runtime errors -> exit 1 (unreadable inputs, malformed documents, ...)
+#
+# Usage: test_obstool_cli.sh /path/to/multihit-obstool
+set -u
+
+OBSTOOL=${1:?usage: test_obstool_cli.sh OBSTOOL}
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+fails=0
+
+# expect NAME EXPECTED_STATUS [args...]
+expect() {
+  name=$1 want=$2
+  shift 2
+  "$OBSTOOL" "$@" > "$TMP/out" 2> "$TMP/err"
+  got=$?
+  if [ "$got" -ne "$want" ]; then
+    echo "FAIL $name: exit $got, want $want (args: $*)" >&2
+    fails=$((fails + 1))
+  fi
+}
+
+expect_usage_on_stderr() {
+  name=$1
+  shift
+  "$OBSTOOL" "$@" > "$TMP/out" 2> "$TMP/err"
+  if ! grep -q '^usage:' "$TMP/err"; then
+    echo "FAIL $name: no usage text on stderr (args: $*)" >&2
+    fails=$((fails + 1))
+  fi
+  if [ -s "$TMP/out" ]; then
+    echo "FAIL $name: usage error wrote to stdout (args: $*)" >&2
+    fails=$((fails + 1))
+  fi
+}
+
+# --- usage errors: exit 2, usage on stderr -------------------------------
+expect no_arguments 2
+expect unknown_subcommand 2 frobnicate trace.json
+expect_usage_on_stderr unknown_subcommand_usage frobnicate trace.json
+expect analyze_missing_operand 2 analyze
+expect profile_missing_operand 2 profile
+expect monitor_missing_operand 2 monitor
+expect analyze_unknown_flag 2 analyze trace.json --bogus
+expect profile_unknown_flag 2 profile profile.json --bogus
+expect monitor_unknown_flag 2 monitor trace.json --bogus
+expect monitor_flag_missing_value 2 monitor trace.json --rules
+expect_usage_on_stderr analyze_missing_operand_usage analyze
+
+# --- runtime errors: exit 1 ----------------------------------------------
+expect analyze_nonexistent_input 1 analyze "$TMP/no-such-trace.json"
+expect profile_nonexistent_input 1 profile "$TMP/no-such-profile.json"
+expect monitor_nonexistent_input 1 monitor "$TMP/no-such-trace.json"
+
+printf 'not json' > "$TMP/garbage.json"
+expect analyze_malformed_input 1 analyze "$TMP/garbage.json"
+expect profile_malformed_input 1 profile "$TMP/garbage.json"
+expect monitor_malformed_input 1 monitor "$TMP/garbage.json"
+
+# A metrics document where a trace belongs: the schema check must reject it
+# at runtime, naming both tags.
+printf '{"schema":"multihit.metrics.v1","counters":[]}' > "$TMP/metrics.json"
+expect monitor_wrong_schema 1 monitor "$TMP/metrics.json"
+
+# --- success path: exit 0 on a minimal valid trace -----------------------
+printf '{"traceEvents":[],"displayTimeUnit":"ms"}' > "$TMP/empty.trace.json"
+expect monitor_empty_trace 0 monitor "$TMP/empty.trace.json" --quiet
+expect analyze_empty_trace 0 analyze "$TMP/empty.trace.json" --quiet
+
+# Malformed rules files are runtime errors too.
+printf 'rule bad bogus series above 1\n' > "$TMP/bad.rules"
+expect monitor_bad_rules 1 monitor "$TMP/empty.trace.json" --rules "$TMP/bad.rules"
+
+if [ "$fails" -ne 0 ]; then
+  echo "$fails CLI contract check(s) failed" >&2
+  exit 1
+fi
+echo "obstool CLI contract: all checks passed"

@@ -156,6 +156,13 @@ ClusterRunResult ClusterRunner::run(const Dataset& data,
       abort_time += penalty;
       result.recovery_time += penalty;
       injector.record({FaultKind::kJobAbort, 0, iter, t_start, penalty});
+      // Operational telemetry (distinct from the injector's ground-truth
+      // instant): the driver genuinely observes its own allocation bouncing,
+      // so the restart is visible to the health monitor.
+      if (rec) {
+        rec->trace.instant(obs::kEngineLane, "job_restart", "driver", t_start,
+                           {{"iteration", std::to_string(iter)}});
+      }
     }
 
     // Message-drop budget for this iteration, consumed in deterministic
@@ -204,7 +211,8 @@ ClusterRunResult ClusterRunner::run(const Dataset& data,
         const DeviceRunResult run =
             run_device(device, options, tumor, normal, ctx, schedule[unit]);
         GpuTiming timing = run.timing;
-        timing.time *= config_.jitter_factor(unit) * config_.noise_factor() * straggle;
+        const double slowdown = config_.jitter_factor(unit) * config_.noise_factor() * straggle;
+        timing.time *= slowdown;
         telemetry.gpus[unit] = timing;
         telemetry.candidate_bytes_total += run.candidate_bytes;
         telemetry.combinations += run.stats.combinations;
@@ -218,7 +226,10 @@ ClusterRunResult ClusterRunner::run(const Dataset& data,
           // rank clock, nested inside the compute span emitted below.
           const StallBreakdown stalls = stall_breakdown(timing);
           occupancy_peak = std::max(occupancy_peak, timing.occupancy);
-          throughput_sum += timing.dram_throughput;
+          // Effective throughput: the same bytes over a slowdown-stretched
+          // window. This is what a real DCGM counter would read on a
+          // straggling device — and what the gpu_collapse detector watches.
+          throughput_sum += timing.dram_throughput / slowdown;
           rec->trace.complete(
               node, "gpu_kernel", "gpu", c0, c0 + timing.time,
               {{"gpu", std::to_string(g)},

@@ -5,9 +5,11 @@
 // structured logger as `fault.crash rank=.. iter=.. t=.. cost=..` events).
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "fault/plan.hpp"
+#include "obs/monitor.hpp"
 
 namespace multihit::obs {
 struct Recorder;
@@ -66,5 +68,11 @@ class FaultInjector {
   std::vector<FaultRecord> records_;
   obs::Recorder* recorder_ = nullptr;
 };
+
+/// Exports fired-fault records as the neutral ground-truth shape the health
+/// monitor's scorer consumes (kind names via fault_kind_name: "crash",
+/// "straggler", "drop", "abort"). The conversion lives here — not in obs —
+/// because obs must not depend on the fault layer.
+std::vector<obs::TruthEvent> truth_events(std::span<const FaultRecord> records);
 
 }  // namespace multihit

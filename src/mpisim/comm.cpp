@@ -13,7 +13,9 @@ SimComm::SimComm(std::uint32_t size, CommCostModel cost)
       compute_time_(size, 0.0),
       comm_time_(size, 0.0),
       alive_(size, true),
-      detected_(size, true) {
+      detected_(size, true),
+      heartbeats_(size, 0),
+      retransmits_(size, 0) {
   if (size == 0) throw std::invalid_argument("SimComm requires at least one rank");
 }
 
@@ -113,7 +115,15 @@ void SimComm::send(std::uint32_t src, std::uint32_t dst, std::uint64_t bytes) {
     obs::MetricsRegistry& metrics = recorder_->metrics;
     metrics.counter("comm.messages").add(1.0);
     metrics.counter("comm.message_bytes").add(static_cast<double>(bytes));
-    if (fault.drops > 0) metrics.counter("comm.retransmits").add(fault.drops);
+    if (fault.drops > 0) {
+      metrics.counter("comm.retransmits").add(fault.drops);
+      // Retransmit telemetry lands when the last dropped attempt timed out —
+      // the moment the sender's transport layer knew about every loss.
+      retransmits_[src] += fault.drops;
+      recorder_->trace.counter(src, "comm_retransmits",
+                               depart + fault.drops * cost_.retransmit_timeout,
+                               static_cast<double>(retransmits_[src]));
+    }
     if (fault.duplicates > 0) metrics.counter("comm.duplicates").add(fault.duplicates);
   }
 }
@@ -192,6 +202,16 @@ void SimComm::record_collective(const char* op, std::uint64_t bytes, double begi
   // slowest participating clock) the collective pushed the job — the
   // quantity Fig. 8 shows hiding under compute variance.
   metrics.histogram("comm.collective_seconds", labels).observe(finish_time() - begin);
+  // Every survivor heartbeats at the collective's completion time. Live
+  // ranks therefore always share their newest heartbeat timestamp — the
+  // monitor's dead-rank detector keys off the one track that fell behind.
+  const double done = finish_time();
+  for (std::uint32_t r = 0; r < clock_.size(); ++r) {
+    if (alive_[r]) {
+      recorder_->trace.counter(r, "heartbeat", done,
+                               static_cast<double>(++heartbeats_[r]));
+    }
+  }
 }
 
 }  // namespace multihit

@@ -193,6 +193,14 @@ class SimComm {
   std::vector<double> comm_time_;
   std::vector<bool> alive_;
   std::vector<bool> detected_;  ///< death already paid for by survivors
+  /// Liveness telemetry: per-rank cumulative collective completions. Every
+  /// surviving rank's heartbeat track ticks at each collective's completion
+  /// time, so the health monitor sees a dead rank as the one track that
+  /// stopped. Emitted as "heartbeat" counter samples on the rank's lane.
+  std::vector<std::uint64_t> heartbeats_;
+  /// Cumulative retransmissions per sending rank, emitted as the
+  /// "comm_retransmits" counter track the monitor's drop detector watches.
+  std::vector<std::uint64_t> retransmits_;
 };
 
 }  // namespace multihit

@@ -38,11 +38,10 @@
 #include <vector>
 
 #include "obs/json.hpp"
+#include "obs/schema.hpp"
 #include "obs/trace.hpp"
 
 namespace multihit::obs {
-
-inline constexpr std::string_view kAnalysisSchema = "multihit.analysis.v1";
 
 /// Raised on structurally invalid inputs: a --trace-out document that is not
 /// a Chrome trace, an unpaired flow event, a metrics file with the wrong

@@ -23,10 +23,9 @@
 
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "obs/schema.hpp"
 
 namespace multihit::obs {
-
-inline constexpr std::string_view kBenchSchema = "multihit.bench.v1";
 
 class BenchReporter {
  public:

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "obs/json.hpp"
+#include "obs/schema.hpp"
 
 namespace multihit::obs {
 
@@ -127,7 +128,5 @@ class MetricsRegistry {
   /// iteration order snapshots rely on and node-stable instrument addresses.
   std::map<std::string, Series> series_;
 };
-
-inline constexpr std::string_view kMetricsSchema = "multihit.metrics.v1";
 
 }  // namespace multihit::obs

@@ -1,0 +1,945 @@
+#include "obs/monitor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <set>
+#include <sstream>
+
+#include "obs/analyze.hpp"
+
+namespace multihit::obs {
+
+namespace {
+
+/// Runaway guard: a cadence far finer than the run is an options bug, not a
+/// monitoring request.
+constexpr std::uint64_t kMaxBoundaries = 4'000'000;
+
+bool is_rank_lane(std::uint32_t lane) noexcept { return lane < kEngineLane; }
+
+const std::string* find_arg(const TraceEvent& ev, std::string_view key) {
+  for (const auto& [k, v] : ev.args) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+double median_of(std::vector<double> values) {
+  const std::size_t n = values.size();
+  const std::size_t mid = n / 2;
+  std::nth_element(values.begin(), values.begin() + mid, values.end());
+  if (n % 2 == 1) return values[mid];
+  const double hi = values[mid];
+  std::nth_element(values.begin(), values.begin() + mid - 1, values.begin() + mid);
+  return (values[mid - 1] + hi) / 2.0;
+}
+
+void validate_options(const MonitorOptions& o) {
+  const auto bad = [](const std::string& what) { throw MonitorError("monitor options: " + what); };
+  if (!(o.sample_every > 0.0) || !std::isfinite(o.sample_every)) {
+    bad("sample_every must be positive and finite");
+  }
+  if (o.window_samples < 2) bad("window_samples must be at least 2");
+  if (!(o.heartbeat_timeout > 0.0)) bad("heartbeat_timeout must be positive");
+  if (!(o.straggler_ratio > 1.0)) bad("straggler_ratio must exceed 1");
+  if (!(o.collapse_fraction > 0.0) || o.collapse_fraction >= 1.0) {
+    bad("collapse_fraction must be in (0, 1)");
+  }
+  if (!(o.comm_overhead_threshold > 0.0)) bad("comm_overhead_threshold must be positive");
+  // A drop_window narrower than the cadence degrades gracefully (the rate
+  // check spans one full sampling interval), so only positivity is required.
+  if (!(o.drop_window > 0.0)) bad("drop_window must be positive");
+  for (const AlertRule& r : o.rules) {
+    if (r.name.empty() || r.series.empty()) bad("rule needs a name and a series");
+    if ((r.kind == RuleKind::kRate || r.kind == RuleKind::kAbsence) && !(r.window > 0.0)) {
+      bad("rule '" + r.name + "' needs a positive window");
+    }
+    if (r.hold == 0) bad("rule '" + r.name + "' hold must be at least 1");
+  }
+}
+
+/// Lifetime stats + ring window for one (series, lane).
+struct SeriesState {
+  std::uint64_t samples = 0;
+  double last_at = 0.0, last = 0.0, min = 0.0, max = 0.0;
+  std::vector<std::pair<double, double>> ring;  ///< boundary snapshots, oldest first
+  bool truncated = false;                       ///< ring has dropped old snapshots
+
+  /// Value at the newest boundary <= cutoff. Before the series' first
+  /// snapshot the value is 0 (counters count from zero); once the ring has
+  /// truncated, requests older than it clamp to the oldest retained value.
+  double value_at(double cutoff) const {
+    for (auto it = ring.rbegin(); it != ring.rend(); ++it) {
+      if (it->first <= cutoff) return it->second;
+    }
+    return truncated && !ring.empty() ? ring.front().second : 0.0;
+  }
+};
+
+using SeriesKey = std::pair<std::string, std::uint32_t>;  // (name, lane)
+
+/// Cumulative overlap of a span set with [0, t], advanced monotonically.
+struct CumTimeline {
+  std::vector<std::pair<double, double>> spans;  ///< sorted by begin
+  std::size_t next = 0;
+  std::vector<std::pair<double, double>> active;
+  double done = 0.0;
+
+  double at(double t) {
+    while (next < spans.size() && spans[next].first <= t) active.push_back(spans[next++]);
+    double sum = 0.0;
+    std::size_t keep = 0;
+    for (const auto& span : active) {
+      if (span.second <= t) {
+        done += span.second - span.first;
+      } else {
+        sum += t - span.first;
+        active[keep++] = span;
+      }
+    }
+    active.resize(keep);
+    return done + sum;
+  }
+};
+
+const char* cmp_name(RuleCmp cmp) { return cmp == RuleCmp::kAbove ? "above" : "below"; }
+
+const char* kind_name(RuleKind kind) {
+  switch (kind) {
+    case RuleKind::kThreshold:
+      return "threshold";
+    case RuleKind::kRate:
+      return "rate";
+    case RuleKind::kAbsence:
+      return "absence";
+    case RuleKind::kImbalance:
+      return "imbalance";
+  }
+  return "?";
+}
+
+bool compare(RuleCmp cmp, double value, double against) {
+  return cmp == RuleCmp::kAbove ? value > against : value < against;
+}
+
+/// The built-in detector names — the incident classes score_incidents knows.
+const char* const kBuiltinRules[] = {"dead_rank",     "straggler", "message_drop",
+                                     "comm_overhead", "gpu_collapse", "job_abort"};
+
+bool is_builtin_rule(const std::string& name) {
+  for (const char* b : kBuiltinRules) {
+    if (name == b) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<AlertRule> parse_rules(std::string_view text) {
+  std::vector<AlertRule> rules;
+  std::istringstream lines{std::string(text)};
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(lines, line)) {
+    ++line_no;
+    const auto fail = [&](const std::string& what) {
+      throw MonitorError("rules line " + std::to_string(line_no) + ": " + what);
+    };
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream words(line);
+    std::vector<std::string> tok;
+    for (std::string w; words >> w;) tok.push_back(w);
+    if (tok.empty()) continue;
+    if (tok[0] != "rule" || tok.size() < 4) {
+      fail("expected: rule NAME threshold|rate|absence|imbalance SERIES ...");
+    }
+    AlertRule rule;
+    rule.name = tok[1];
+    const std::string& kind = tok[2];
+    rule.series = tok[3];
+    const auto parse_cmp = [&](const std::string& word) {
+      if (word == "above") return RuleCmp::kAbove;
+      if (word == "below") return RuleCmp::kBelow;
+      fail("expected above|below, got '" + word + "'");
+      return RuleCmp::kAbove;  // unreachable
+    };
+    const auto parse_num = [&](const std::string& word) {
+      char* end = nullptr;
+      const double v = std::strtod(word.c_str(), &end);
+      if (end != word.c_str() + word.size() || !std::isfinite(v)) {
+        fail("expected a number, got '" + word + "'");
+      }
+      return v;
+    };
+    if (kind == "threshold") {
+      if (tok.size() != 6 && tok.size() != 8) {
+        fail("expected: rule NAME threshold SERIES above|below VALUE [hold N]");
+      }
+      rule.kind = RuleKind::kThreshold;
+      rule.cmp = parse_cmp(tok[4]);
+      rule.value = parse_num(tok[5]);
+      if (tok.size() == 8) {
+        if (tok[6] != "hold") fail("expected 'hold', got '" + tok[6] + "'");
+        const double n = parse_num(tok[7]);
+        if (n < 1.0 || n != std::floor(n)) fail("hold must be a positive integer");
+        rule.hold = static_cast<std::uint32_t>(n);
+      }
+    } else if (kind == "rate") {
+      if (tok.size() != 8 || tok[6] != "window") {
+        fail("expected: rule NAME rate SERIES above|below DELTA window SECONDS");
+      }
+      rule.kind = RuleKind::kRate;
+      rule.cmp = parse_cmp(tok[4]);
+      rule.value = parse_num(tok[5]);
+      rule.window = parse_num(tok[7]);
+      if (!(rule.window > 0.0)) fail("window must be positive");
+    } else if (kind == "absence") {
+      if (tok.size() != 6 || tok[4] != "window") {
+        fail("expected: rule NAME absence SERIES window SECONDS");
+      }
+      rule.kind = RuleKind::kAbsence;
+      rule.window = parse_num(tok[5]);
+      if (!(rule.window > 0.0)) fail("window must be positive");
+    } else if (kind == "imbalance") {
+      if (tok.size() != 6) fail("expected: rule NAME imbalance SERIES above|below RATIO");
+      rule.kind = RuleKind::kImbalance;
+      rule.cmp = parse_cmp(tok[4]);
+      rule.value = parse_num(tok[5]);
+    } else {
+      fail("unknown rule kind '" + kind + "'");
+    }
+    rules.push_back(std::move(rule));
+  }
+  return rules;
+}
+
+HealthReport monitor_trace(const Tracer& trace, const MonitorOptions& options) {
+  validate_options(options);
+
+  // --- gather the observation streams, in simulated-time order -------------
+  struct CounterObs {
+    double at;
+    std::uint32_t lane;
+    const std::string* name;
+    double value;
+  };
+  std::vector<CounterObs> counter_obs;
+  counter_obs.reserve(trace.counters().size());
+  double makespan = 0.0;
+  std::set<std::uint32_t> rank_lanes_seen;
+  for (const CounterSample& c : trace.counters()) {
+    counter_obs.push_back({c.at, c.lane, &c.name, c.value});
+    makespan = std::max(makespan, c.at);
+    if (is_rank_lane(c.lane)) rank_lanes_seen.insert(c.lane);
+  }
+  std::stable_sort(counter_obs.begin(), counter_obs.end(),
+                   [](const CounterObs& a, const CounterObs& b) { return a.at < b.at; });
+
+  struct IterWindow {
+    std::int64_t index;
+    double begin, end;
+  };
+  std::vector<IterWindow> windows;
+  std::map<std::int64_t, std::map<std::uint32_t, double>> iter_compute;
+  std::vector<double> restarts;
+  CumTimeline comm_time, busy_time;
+  std::map<std::uint32_t, std::vector<const TraceEvent*>> lane_spans;
+
+  for (const TraceEvent& ev : trace.events()) {
+    // The injector's instants are the labeled ground truth; detection works
+    // from operational telemetry alone, so they are invisible here — they do
+    // not even extend the monitored horizon.
+    if (ev.category == "fault") continue;
+    makespan = std::max(makespan, ev.end);
+    if (!ev.instant) lane_spans[ev.lane].push_back(&ev);
+    if (ev.lane == kEngineLane) {
+      if (!ev.instant && ev.name == "greedy_iteration") {
+        const std::string* arg = find_arg(ev, "iteration");
+        if (arg) windows.push_back({std::atoll(arg->c_str()), ev.begin, ev.end});
+      } else if (ev.instant && ev.name == "job_restart") {
+        restarts.push_back(ev.begin);
+      }
+      continue;
+    }
+    if (!is_rank_lane(ev.lane)) continue;
+    rank_lanes_seen.insert(ev.lane);
+    if (ev.instant) continue;
+    // Busy time counts top-level phase spans; "gpu" kernels nest inside
+    // their compute span and would double-count.
+    if (ev.category != "gpu") busy_time.spans.emplace_back(ev.begin, ev.end);
+    if (ev.category == "comm") comm_time.spans.emplace_back(ev.begin, ev.end);
+    if (ev.name == "compute" && ev.category == "compute") {
+      const std::string* arg = find_arg(ev, "iteration");
+      if (arg) iter_compute[std::atoll(arg->c_str())][ev.lane] += ev.duration();
+    }
+  }
+  for (const FlowEdge& f : trace.flows()) makespan = std::max(makespan, f.to_time);
+  const auto by_begin = [](const std::pair<double, double>& a,
+                           const std::pair<double, double>& b) { return a.first < b.first; };
+  std::stable_sort(comm_time.spans.begin(), comm_time.spans.end(), by_begin);
+  std::stable_sort(busy_time.spans.begin(), busy_time.spans.end(), by_begin);
+  std::stable_sort(windows.begin(), windows.end(),
+                   [](const IterWindow& a, const IterWindow& b) { return a.end < b.end; });
+  std::sort(restarts.begin(), restarts.end());
+
+  const double dt = options.sample_every;
+  std::uint64_t boundaries = 0;
+  if (makespan > 0.0) {
+    const double exact = makespan / dt;
+    if (exact > static_cast<double>(kMaxBoundaries)) {
+      throw MonitorError("sample_every of " + json_number(dt) + " s over a " +
+                         json_number(makespan) + " s run exceeds " +
+                         std::to_string(kMaxBoundaries) + " boundaries");
+    }
+    boundaries = static_cast<std::uint64_t>(std::ceil(exact));
+    if (static_cast<double>(boundaries) * dt < makespan) ++boundaries;
+  }
+
+  HealthReport report;
+  report.options = options;
+  report.makespan = makespan;
+  report.boundaries = boundaries;
+  report.rank_lanes = static_cast<std::uint32_t>(rank_lanes_seen.size());
+
+  // --- incident bookkeeping ------------------------------------------------
+  const auto window_at = [&](double t) -> std::int64_t {
+    for (const IterWindow& w : windows) {
+      if (w.begin <= t && t <= w.end) return w.index;
+    }
+    return -1;
+  };
+  const auto enclosing_span = [&](std::uint32_t lane, double t) -> std::string {
+    const auto it = lane_spans.find(lane);
+    if (it == lane_spans.end()) return {};
+    const TraceEvent* best = nullptr;
+    for (const TraceEvent* ev : it->second) {
+      if (ev->begin <= t && t <= ev->end) {
+        if (!best || ev->begin > best->begin ||
+            (ev->begin == best->begin && ev->end < best->end)) {
+          best = ev;
+        }
+      }
+    }
+    return best ? best->name : std::string{};
+  };
+
+  std::map<std::pair<std::string, std::uint32_t>, std::size_t> open;
+  const auto set_condition = [&](const std::string& rule, const char* kind,
+                                 std::uint32_t lane, bool breached, double value, double t,
+                                 std::int64_t iter_hint) {
+    const auto key = std::make_pair(rule, lane);
+    const auto it = open.find(key);
+    if (breached && it == open.end()) {
+      Incident inc;
+      inc.rule = rule;
+      inc.kind = kind;
+      inc.lane = lane;
+      inc.fired = t;
+      inc.cleared = t;
+      inc.open = true;
+      inc.value = value;
+      inc.span = enclosing_span(lane, t);
+      inc.iteration = iter_hint >= 0 ? iter_hint : window_at(t);
+      open.emplace(key, report.incidents.size());
+      report.incidents.push_back(std::move(inc));
+    } else if (!breached && it != open.end()) {
+      report.incidents[it->second].cleared = t;
+      report.incidents[it->second].open = false;
+      open.erase(it);
+    }
+  };
+
+  // --- sampler + detector state --------------------------------------------
+  std::map<SeriesKey, SeriesState> series;
+  std::size_t obs_ptr = 0;
+
+  // straggler: per-lane cross-iteration baseline of fleet-normalized compute
+  // ratios. The baseline resets whenever the set of computing lanes changes
+  // (a crash re-partition is a new schedule regime) and the first iteration
+  // of each regime is warm-up, so persistent schedule imbalance (the
+  // equi-distance case) never trips the detector — only a *change* does.
+  std::map<std::uint32_t, std::vector<double>> straggler_baseline;
+  std::set<std::uint32_t> straggler_active;
+  struct LaneFlag {
+    bool breached = false;  ///< verdict of the newest finalized iteration
+    double value = 0.0;
+    std::int64_t iteration = -1;
+    /// Any breach among windows finalized since the last boundary. The
+    /// cadence can be coarser than the iteration rate, so without the latch
+    /// a straggle that starts and ends inside one sampling interval would
+    /// never reach a boundary.
+    bool latched = false;
+    double latched_value = 0.0;
+    std::int64_t latched_iteration = -1;
+  };
+  std::map<std::uint32_t, LaneFlag> straggler_state;
+  std::size_t next_window = 0;
+  std::size_t next_restart = 0;
+
+  std::map<std::pair<std::size_t, std::uint32_t>, std::uint32_t> hold_counts;
+
+  double t = 0.0;
+  for (std::uint64_t k = 1; k <= boundaries; ++k) {
+    t = static_cast<double>(k) * dt;
+
+    // Ingest raw counter samples up to this boundary.
+    while (obs_ptr < counter_obs.size() && counter_obs[obs_ptr].at <= t) {
+      const CounterObs& ob = counter_obs[obs_ptr++];
+      SeriesState& st = series[{*ob.name, ob.lane}];
+      if (st.samples == 0) {
+        st.min = st.max = ob.value;
+      } else {
+        st.min = std::min(st.min, ob.value);
+        st.max = std::max(st.max, ob.value);
+      }
+      ++st.samples;
+      st.last = ob.value;
+      st.last_at = ob.at;
+    }
+    // Boundary snapshot into each ring.
+    for (auto& [key, st] : series) {
+      if (st.ring.size() == options.window_samples) {
+        st.ring.erase(st.ring.begin());
+        st.truncated = true;
+      }
+      st.ring.emplace_back(t, st.last);
+    }
+
+    // Finalize greedy iterations whose window closed by this boundary.
+    while (next_window < windows.size() && windows[next_window].end <= t) {
+      const IterWindow& w = windows[next_window++];
+      const auto durs_it = iter_compute.find(w.index);
+      if (durs_it == iter_compute.end()) continue;
+      const std::map<std::uint32_t, double>& durs = durs_it->second;
+      std::set<std::uint32_t> active;
+      for (const auto& [lane, d] : durs) {
+        if (d > 0.0) active.insert(lane);
+      }
+      const auto ratio_of = [&](std::uint32_t lane) {
+        double others = 0.0;
+        for (const std::uint32_t l : active) {
+          if (l != lane) others += durs.at(l);
+        }
+        others /= static_cast<double>(active.size() - 1);
+        return others > 0.0 ? durs.at(lane) / others : 0.0;
+      };
+      if (active != straggler_active) {
+        // New regime: drop history, clear any open incidents, record this
+        // iteration as the fresh baseline and skip detection (warm-up).
+        straggler_baseline.clear();
+        for (auto& [lane, flag] : straggler_state) flag = LaneFlag{};
+        straggler_active = active;
+        if (active.size() >= 2) {
+          for (const std::uint32_t lane : active) {
+            straggler_baseline[lane].push_back(ratio_of(lane));
+          }
+        }
+        continue;
+      }
+      if (active.size() < 2) continue;
+      for (const std::uint32_t lane : active) {
+        const double r = ratio_of(lane);
+        std::vector<double>& hist = straggler_baseline[lane];
+        const bool breached =
+            !hist.empty() &&
+            r >= options.straggler_ratio * std::max(1.0, median_of(hist));
+        LaneFlag& flag = straggler_state[lane];
+        flag.breached = breached;
+        flag.value = r;
+        flag.iteration = w.index;
+        if (breached && !flag.latched) {
+          flag.latched = true;
+          flag.latched_value = r;
+          flag.latched_iteration = w.index;
+        }
+        // Anomalous iterations stay out of the baseline, so a straggle
+        // burst cannot talk its way into normality.
+        if (!breached) hist.push_back(r);
+      }
+    }
+
+    if (options.builtin_detectors) {
+      // dead_rank: heartbeat silence relative to the fleet's newest
+      // heartbeat. Alive ranks all heartbeat at each collective's completion
+      // time, so a live lane's gap is exactly zero.
+      double fleet_last = -1.0;
+      const SeriesKey hb_lo{"heartbeat", 0};
+      const SeriesKey hb_hi{"heartbeat", kEngineLane};
+      for (auto it = series.lower_bound(hb_lo); it != series.end() && it->first < hb_hi;
+           ++it) {
+        fleet_last = std::max(fleet_last, it->second.last_at);
+      }
+      if (fleet_last >= 0.0) {
+        for (auto it = series.lower_bound(hb_lo); it != series.end() && it->first < hb_hi;
+             ++it) {
+          const double gap = fleet_last - it->second.last_at;
+          set_condition("dead_rank", "detector", it->first.second,
+                        gap > options.heartbeat_timeout, gap, t, -1);
+        }
+      }
+
+      // straggler: the per-iteration deviation flags computed above. A latch
+      // set by an interval-interior breach fires this boundary and (if the
+      // newest iteration is clean again) clears at the next one.
+      for (auto& [lane, flag] : straggler_state) {
+        const bool breached = flag.latched || flag.breached;
+        set_condition("straggler", "detector", lane, breached,
+                      flag.latched ? flag.latched_value : flag.value, t,
+                      flag.latched ? flag.latched_iteration : flag.iteration);
+        flag.latched = false;
+      }
+
+      // message_drop: the retransmit counter grew within the trailing window.
+      const SeriesKey rt_lo{"comm_retransmits", 0};
+      const SeriesKey rt_hi{"comm_retransmits", kEngineLane};
+      for (auto it = series.lower_bound(rt_lo); it != series.end() && it->first < rt_hi;
+           ++it) {
+        const double delta = it->second.last - it->second.value_at(t - options.drop_window);
+        set_condition("message_drop", "detector", it->first.second, delta > 0.0, delta, t,
+                      -1);
+      }
+
+      // comm_overhead: cumulative comm fraction of busy time (Fig. 8).
+      const double busy = busy_time.at(t);
+      const double comm = comm_time.at(t);
+      const double frac = busy > 0.0 ? comm / busy : 0.0;
+      set_condition("comm_overhead", "detector", kEngineLane,
+                    busy > 0.0 && frac > options.comm_overhead_threshold, frac, t, -1);
+
+      // gpu_collapse: a computing lane whose DRAM throughput sits far below
+      // the fleet median — the telemetry shadow of a throttled or straggling
+      // device. Idle lanes (value 0) are out of both the median and the
+      // check, so ordinary end-of-iteration stagger never fires.
+      const SeriesKey dr_lo{"gpu_dram_throughput", 0};
+      const SeriesKey dr_hi{"gpu_dram_throughput", kEngineLane};
+      std::vector<std::pair<std::uint32_t, double>> computing;
+      for (auto it = series.lower_bound(dr_lo); it != series.end() && it->first < dr_hi;
+           ++it) {
+        if (it->second.last > 0.0) computing.emplace_back(it->first.second, it->second.last);
+      }
+      double med = 0.0;
+      if (computing.size() >= 2) {
+        std::vector<double> values;
+        values.reserve(computing.size());
+        for (const auto& [lane, v] : computing) values.push_back(v);
+        med = median_of(std::move(values));
+      }
+      for (auto it = series.lower_bound(dr_lo); it != series.end() && it->first < dr_hi;
+           ++it) {
+        const double v = it->second.last;
+        const bool breached = computing.size() >= 2 && v > 0.0 && med > 0.0 &&
+                              v < options.collapse_fraction * med;
+        set_condition("gpu_collapse", "detector", it->first.second, breached,
+                      med > 0.0 ? v / med : 0.0, t, -1);
+      }
+
+      // job_abort: the driver's job_restart instant (it genuinely knows the
+      // allocation bounced — that is operational telemetry, not ground
+      // truth). Fires for exactly one boundary per restart.
+      std::uint32_t bounced = 0;
+      while (next_restart < restarts.size() && restarts[next_restart] <= t) {
+        ++next_restart;
+        ++bounced;
+      }
+      set_condition("job_abort", "detector", kEngineLane, bounced > 0,
+                    static_cast<double>(bounced), t, -1);
+    }
+
+    // User rules, in declaration order.
+    for (std::size_t ri = 0; ri < options.rules.size(); ++ri) {
+      const AlertRule& rule = options.rules[ri];
+      const SeriesKey lo{rule.series, 0};
+      const auto in_series = [&](const std::map<SeriesKey, SeriesState>::iterator& it) {
+        return it != series.end() && it->first.first == rule.series;
+      };
+      switch (rule.kind) {
+        case RuleKind::kThreshold: {
+          for (auto it = series.lower_bound(lo); in_series(it); ++it) {
+            const bool breach = compare(rule.cmp, it->second.last, rule.value);
+            std::uint32_t& run = hold_counts[{ri, it->first.second}];
+            run = breach ? run + 1 : 0;
+            set_condition(rule.name, kind_name(rule.kind), it->first.second,
+                          run >= rule.hold, it->second.last, t, -1);
+          }
+          break;
+        }
+        case RuleKind::kRate: {
+          for (auto it = series.lower_bound(lo); in_series(it); ++it) {
+            const double delta = it->second.last - it->second.value_at(t - rule.window);
+            set_condition(rule.name, kind_name(rule.kind), it->first.second,
+                          compare(rule.cmp, delta, rule.value), delta, t, -1);
+          }
+          break;
+        }
+        case RuleKind::kAbsence: {
+          double fleet_last = -1.0;
+          for (auto it = series.lower_bound(lo); in_series(it); ++it) {
+            fleet_last = std::max(fleet_last, it->second.last_at);
+          }
+          if (fleet_last < 0.0) break;
+          for (auto it = series.lower_bound(lo); in_series(it); ++it) {
+            const double gap = fleet_last - it->second.last_at;
+            set_condition(rule.name, kind_name(rule.kind), it->first.second,
+                          gap > rule.window, gap, t, -1);
+          }
+          break;
+        }
+        case RuleKind::kImbalance: {
+          std::vector<std::pair<std::uint32_t, double>> lanes;
+          for (auto it = series.lower_bound(lo); in_series(it); ++it) {
+            lanes.emplace_back(it->first.second, it->second.last);
+          }
+          for (const auto& [lane, v] : lanes) {
+            double others = 0.0;
+            for (const auto& [l, ov] : lanes) {
+              if (l != lane) others += ov;
+            }
+            const bool enough = lanes.size() >= 2;
+            others = enough ? others / static_cast<double>(lanes.size() - 1) : 0.0;
+            const double ratio = others > 0.0 ? v / others : 0.0;
+            set_condition(rule.name, kind_name(rule.kind), lane,
+                          enough && others > 0.0 && compare(rule.cmp, ratio, rule.value),
+                          ratio, t, -1);
+          }
+          break;
+        }
+      }
+    }
+  }
+
+  // Whatever is still firing at the end of telemetry stays open, clear time
+  // pinned to the final boundary.
+  for (const auto& [key, index] : open) report.incidents[index].cleared = t;
+
+  report.series.reserve(series.size());
+  for (const auto& [key, st] : series) {
+    SeriesStat stat;
+    stat.series = key.first;
+    stat.lane = key.second;
+    stat.samples = st.samples;
+    stat.last_at = st.last_at;
+    stat.min = st.min;
+    stat.max = st.max;
+    stat.last = st.last;
+    stat.window = st.ring;
+    report.series.push_back(std::move(stat));
+  }
+  return report;
+}
+
+JsonValue health_report(const HealthReport& report) {
+  JsonValue doc = JsonValue::object();
+  doc.set("schema", JsonValue(kHealthSchema));
+  doc.set("sample_every_seconds", JsonValue(report.options.sample_every));
+  doc.set("window_samples", JsonValue(static_cast<double>(report.options.window_samples)));
+  doc.set("boundaries", JsonValue(static_cast<double>(report.boundaries)));
+  doc.set("makespan_seconds", JsonValue(report.makespan));
+  doc.set("rank_lanes", JsonValue(static_cast<double>(report.rank_lanes)));
+
+  JsonValue detectors = JsonValue::object();
+  detectors.set("builtin", JsonValue(report.options.builtin_detectors));
+  detectors.set("heartbeat_timeout", JsonValue(report.options.heartbeat_timeout));
+  detectors.set("straggler_ratio", JsonValue(report.options.straggler_ratio));
+  detectors.set("collapse_fraction", JsonValue(report.options.collapse_fraction));
+  detectors.set("comm_overhead_threshold",
+                JsonValue(report.options.comm_overhead_threshold));
+  detectors.set("drop_window", JsonValue(report.options.drop_window));
+  doc.set("detectors", std::move(detectors));
+
+  JsonValue rules = JsonValue::array();
+  for (const AlertRule& r : report.options.rules) {
+    JsonValue entry = JsonValue::object();
+    entry.set("name", JsonValue(r.name));
+    entry.set("kind", JsonValue(kind_name(r.kind)));
+    entry.set("series", JsonValue(r.series));
+    entry.set("cmp", JsonValue(cmp_name(r.cmp)));
+    entry.set("value", JsonValue(r.value));
+    entry.set("window", JsonValue(r.window));
+    entry.set("hold", JsonValue(static_cast<double>(r.hold)));
+    rules.push_back(std::move(entry));
+  }
+  doc.set("rules", std::move(rules));
+
+  JsonValue series = JsonValue::array();
+  for (const SeriesStat& s : report.series) {
+    JsonValue entry = JsonValue::object();
+    entry.set("series", JsonValue(s.series));
+    entry.set("lane", JsonValue(static_cast<double>(s.lane)));
+    entry.set("samples", JsonValue(static_cast<double>(s.samples)));
+    entry.set("last_at", JsonValue(s.last_at));
+    entry.set("min", JsonValue(s.min));
+    entry.set("max", JsonValue(s.max));
+    entry.set("last", JsonValue(s.last));
+    JsonValue window = JsonValue::array();
+    for (const auto& [at, value] : s.window) {
+      JsonValue point = JsonValue::object();
+      point.set("t", JsonValue(at));
+      point.set("value", JsonValue(value));
+      window.push_back(std::move(point));
+    }
+    entry.set("window", std::move(window));
+    series.push_back(std::move(entry));
+  }
+  doc.set("series", std::move(series));
+
+  JsonValue incidents = JsonValue::array();
+  std::map<std::string, std::uint32_t> by_rule;
+  std::uint32_t open_count = 0;
+  for (const Incident& inc : report.incidents) {
+    JsonValue entry = JsonValue::object();
+    entry.set("rule", JsonValue(inc.rule));
+    entry.set("kind", JsonValue(inc.kind));
+    entry.set("lane", JsonValue(static_cast<double>(inc.lane)));
+    entry.set("fired", JsonValue(inc.fired));
+    entry.set("cleared", JsonValue(inc.cleared));
+    entry.set("open", JsonValue(inc.open));
+    entry.set("value", JsonValue(inc.value));
+    entry.set("span", JsonValue(inc.span));
+    entry.set("iteration", JsonValue(static_cast<double>(inc.iteration)));
+    incidents.push_back(std::move(entry));
+    ++by_rule[inc.rule];
+    if (inc.open) ++open_count;
+  }
+  doc.set("incidents", std::move(incidents));
+
+  JsonValue summary = JsonValue::object();
+  summary.set("incidents", JsonValue(static_cast<double>(report.incidents.size())));
+  summary.set("open", JsonValue(static_cast<double>(open_count)));
+  JsonValue counts = JsonValue::array();
+  for (const auto& [rule, count] : by_rule) {
+    JsonValue entry = JsonValue::object();
+    entry.set("rule", JsonValue(rule));
+    entry.set("count", JsonValue(static_cast<double>(count)));
+    counts.push_back(std::move(entry));
+  }
+  summary.set("by_rule", std::move(counts));
+  doc.set("summary", std::move(summary));
+  return doc;
+}
+
+std::string health_text(const HealthReport& report, bool summary_only) {
+  std::string out = "multihit health monitor (" + std::string(kHealthSchema) + ")\n";
+  out += "  makespan " + json_number(report.makespan) + " s, " +
+         std::to_string(report.boundaries) + " boundaries @ " +
+         json_number(report.options.sample_every) + " s cadence\n";
+  out += "  telemetry: " + std::to_string(report.series.size()) + " series over " +
+         std::to_string(report.rank_lanes) + " rank lane(s)\n";
+  std::map<std::string, std::uint32_t> by_rule;
+  std::uint32_t open_count = 0;
+  for (const Incident& inc : report.incidents) {
+    ++by_rule[inc.rule];
+    if (inc.open) ++open_count;
+  }
+  out += "  incidents: " + std::to_string(report.incidents.size()) + " (" +
+         std::to_string(open_count) + " open)\n";
+  for (const auto& [rule, count] : by_rule) {
+    out += "    " + rule + ": " + std::to_string(count) + " incident(s)\n";
+  }
+  if (summary_only) return out;
+  for (const Incident& inc : report.incidents) {
+    const std::string lane = inc.lane == kEngineLane ? std::string("engine")
+                                                     : "rank " + std::to_string(inc.lane);
+    out += "  [" + inc.rule + "] " + lane + " fired t=" + json_number(inc.fired) +
+           (inc.open ? " s (still open at t=" : " s (cleared t=") +
+           json_number(inc.cleared) + " s), value " + json_number(inc.value);
+    if (!inc.span.empty()) out += ", in " + inc.span;
+    if (inc.iteration >= 0) out += ", iteration " + std::to_string(inc.iteration);
+    out += "\n";
+  }
+  return out;
+}
+
+std::vector<std::string> health_crosscheck(const HealthReport& report,
+                                           const JsonValue& metrics) {
+  std::vector<std::string> mismatches;
+  std::map<std::string, double> totals;
+  try {
+    totals = metrics_counter_totals(metrics);
+  } catch (const AnalysisError& e) {
+    return {e.what()};
+  }
+  std::set<std::uint32_t> dead_lanes;
+  bool any_drop_incident = false;
+  for (const Incident& inc : report.incidents) {
+    if (inc.rule == "dead_rank") dead_lanes.insert(inc.lane);
+    if (inc.rule == "message_drop") any_drop_incident = true;
+  }
+  const auto total = [&](const char* name) {
+    const auto it = totals.find(name);
+    return it == totals.end() ? 0.0 : it->second;
+  };
+  const double ranks_lost = total("cluster.ranks_lost");
+  if (static_cast<double>(dead_lanes.size()) != ranks_lost) {
+    mismatches.push_back("dead_rank incidents cover " + std::to_string(dead_lanes.size()) +
+                         " lane(s) but metrics count cluster.ranks_lost=" +
+                         json_number(ranks_lost));
+  }
+  const double retransmits = total("comm.retransmits");
+  if ((retransmits > 0.0) != any_drop_incident) {
+    mismatches.push_back(std::string("message_drop incidents ") +
+                         (any_drop_incident ? "fired" : "absent") +
+                         " but metrics count comm.retransmits=" + json_number(retransmits));
+  }
+  return mismatches;
+}
+
+void annotate_trace(Tracer& trace, const HealthReport& report) {
+  for (const Incident& inc : report.incidents) {
+    trace.instant(inc.lane, "health." + inc.rule, "health", inc.fired,
+                  {{"value", json_number(inc.value)},
+                   {"cleared", json_number(inc.cleared)},
+                   {"open", inc.open ? "true" : "false"}});
+  }
+}
+
+JsonValue truth_json(const std::vector<TruthEvent>& events) {
+  JsonValue doc = JsonValue::object();
+  doc.set("schema", JsonValue(kTruthSchema));
+  JsonValue list = JsonValue::array();
+  for (const TruthEvent& e : events) {
+    JsonValue entry = JsonValue::object();
+    entry.set("kind", JsonValue(e.kind));
+    entry.set("rank", JsonValue(static_cast<double>(e.rank)));
+    entry.set("iteration", JsonValue(static_cast<double>(e.iteration)));
+    entry.set("sim_time", JsonValue(e.sim_time));
+    list.push_back(std::move(entry));
+  }
+  doc.set("events", std::move(list));
+  return doc;
+}
+
+std::vector<TruthEvent> truth_from_json(const JsonValue& doc) {
+  require_schema<MonitorError>(doc, kTruthSchema, "truth document");
+  const JsonValue* events = doc.find("events");
+  if (!events || !events->is_array()) {
+    throw MonitorError("truth document has no events array");
+  }
+  std::vector<TruthEvent> out;
+  out.reserve(events->size());
+  for (std::size_t i = 0; i < events->size(); ++i) {
+    const JsonValue& entry = events->at(i);
+    const JsonValue* kind = entry.find("kind");
+    const JsonValue* rank = entry.find("rank");
+    const JsonValue* iteration = entry.find("iteration");
+    const JsonValue* sim_time = entry.find("sim_time");
+    if (!kind || !kind->is_string() || !rank || !rank->is_number() || !iteration ||
+        !iteration->is_number() || !sim_time || !sim_time->is_number()) {
+      throw MonitorError("truth event " + std::to_string(i) +
+                         " missing kind/rank/iteration/sim_time");
+    }
+    out.push_back({kind->as_string(), static_cast<std::uint32_t>(rank->as_number()),
+                   static_cast<std::uint32_t>(iteration->as_number()),
+                   sim_time->as_number()});
+  }
+  return out;
+}
+
+bool HealthScore::perfect() const noexcept {
+  if (false_positives != 0) return false;
+  for (const auto& [kind, score] : by_class) {
+    if (score.detected != score.injected) return false;
+  }
+  return true;
+}
+
+HealthScore score_incidents(const HealthReport& report,
+                            const std::vector<TruthEvent>& truth,
+                            double detection_window) {
+  if (!(detection_window > 0.0)) {
+    throw MonitorError("score_incidents needs a positive detection window");
+  }
+  // Primary detector per fault class, plus the corroborating classes a fault
+  // legitimately drags along (a crash's detection windows and a straggler's
+  // reduce skew both really are comm overhead; a straggler's slow device
+  // really is a throughput collapse).
+  const auto primary = [](const std::string& kind) -> const char* {
+    if (kind == "crash") return "dead_rank";
+    if (kind == "straggler") return "straggler";
+    if (kind == "drop") return "message_drop";
+    if (kind == "abort") return "job_abort";
+    return nullptr;
+  };
+  const auto corroborates = [](const std::string& kind, const std::string& rule) {
+    if (kind == "crash") return rule == "gpu_collapse" || rule == "comm_overhead";
+    if (kind == "straggler") return rule == "gpu_collapse" || rule == "comm_overhead";
+    if (kind == "drop") return rule == "comm_overhead";
+    return false;
+  };
+
+  HealthScore score;
+  std::vector<bool> matched(report.incidents.size(), false);
+  std::map<std::string, std::vector<double>> latencies;
+
+  for (const TruthEvent& e : truth) {
+    const char* want = primary(e.kind);
+    if (!want) throw MonitorError("unknown truth kind '" + e.kind + "'");
+    ClassScore& cls = score.by_class[e.kind];
+    ++cls.injected;
+    const double lo = e.sim_time;
+    const double hi = e.sim_time + detection_window;
+    const std::uint32_t lane = e.kind == "abort" ? kEngineLane : e.rank;
+    double first_fire = -1.0;
+    for (std::size_t i = 0; i < report.incidents.size(); ++i) {
+      const Incident& inc = report.incidents[i];
+      if (!(inc.fired <= hi && inc.cleared >= lo)) continue;
+      if (inc.rule == want && inc.lane == lane) {
+        matched[i] = true;
+        if (first_fire < 0.0 || inc.fired < first_fire) first_fire = inc.fired;
+      } else if (corroborates(e.kind, inc.rule) &&
+                 (inc.lane == lane || inc.lane == kEngineLane)) {
+        matched[i] = true;
+      }
+    }
+    if (first_fire >= 0.0) {
+      ++cls.detected;
+      latencies[e.kind].push_back(std::max(0.0, first_fire - e.sim_time));
+    } else {
+      score.misses.push_back(e.kind + " rank " + std::to_string(e.rank) + " @ iteration " +
+                             std::to_string(e.iteration) + " (t=" +
+                             json_number(e.sim_time) + " s) undetected within " +
+                             json_number(detection_window) + " s");
+    }
+  }
+
+  for (auto& [kind, values] : latencies) {
+    ClassScore& cls = score.by_class[kind];
+    double sum = 0.0;
+    for (const double v : values) {
+      sum += v;
+      cls.latency_max = std::max(cls.latency_max, v);
+    }
+    cls.latency_mean = sum / static_cast<double>(values.size());
+  }
+
+  for (std::size_t i = 0; i < report.incidents.size(); ++i) {
+    const Incident& inc = report.incidents[i];
+    if (matched[i] || !is_builtin_rule(inc.rule)) continue;
+    ++score.false_positives;
+    score.spurious.push_back(inc.rule + " lane " + std::to_string(inc.lane) + " fired t=" +
+                             json_number(inc.fired) + " s (value " +
+                             json_number(inc.value) + ")");
+  }
+  return score;
+}
+
+std::string score_text(const HealthScore& score) {
+  std::string out = "health score vs injected ground truth\n";
+  for (const auto& [kind, cls] : score.by_class) {
+    out += "  " + kind + ": " + std::to_string(cls.detected) + "/" +
+           std::to_string(cls.injected) + " detected";
+    if (cls.detected > 0) {
+      out += ", latency mean " + json_number(cls.latency_mean) + " s, max " +
+             json_number(cls.latency_max) + " s";
+    }
+    out += "\n";
+  }
+  out += "  false positives: " + std::to_string(score.false_positives) + "\n";
+  for (const std::string& miss : score.misses) out += "  MISS: " + miss + "\n";
+  for (const std::string& fp : score.spurious) out += "  SPURIOUS: " + fp + "\n";
+  out += score.perfect() ? "  verdict: PERFECT\n" : "  verdict: IMPERFECT\n";
+  return out;
+}
+
+}  // namespace multihit::obs

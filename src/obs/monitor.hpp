@@ -1,0 +1,238 @@
+#pragma once
+// Online health monitor over the simulated-clock telemetry streams.
+//
+// The paper's runs live in a regime (1000 Summit nodes, 6000 GPUs) where
+// rank failures and stragglers are routine, so an operator needs the layer
+// that *watches*: something that turns the raw telemetry the Recorder
+// collects into detections — "rank 3 went silent at t=212 ms", "rank 7 is a
+// 2.5x straggler in iteration 4" — while the run is in flight. This header
+// is that layer for the simulator. It replays a run's trace in simulated-
+// time order (the simulation is serial, so "online" means: every decision
+// at sample boundary t uses only observations with timestamp <= t) and
+// produces a deterministic `multihit.health.v1` artifact.
+//
+// Three parts:
+//   1. a time-series sampler that snapshots every counter track in the
+//      trace (heartbeats, GPU occupancy / DRAM throughput, retransmit
+//      counts) at a configurable simulated-time cadence, keeping an exact
+//      ring-buffered window per (series, lane) — values are copied, never
+//      re-derived, so there is no float drift across runs;
+//   2. a declarative alert-rule engine (threshold / rate-of-change /
+//      absence / cross-rank-imbalance rule kinds, parse_rules grammar
+//      below) evaluated at sample boundaries, emitting Incident records
+//      with fire/clear timestamps on the simulated clock, the offending
+//      lane, the observed value, and the enclosing span;
+//   3. built-in detectors keyed to the paper's failure modes: dead-rank
+//      via heartbeat loss within the SimComm detection window, straggler
+//      via per-iteration lane-duration deviation across ranks (baselined
+//      per lane so a deliberately imbalanced equi-distance schedule does
+//      not false-fire), message-drop via retransmit-rate bursts,
+//      comm-overhead-fraction breach (Fig. 8), and GPU DRAM-throughput
+//      collapse from the PR 4 counter tracks.
+//
+// Detection must come from telemetry alone: trace events in the "fault"
+// category (the injector's ground-truth instants) are invisible to the
+// monitor. The injected plan is instead exported as TruthEvents and scored
+// against the incidents with score_incidents — per-class recall, false
+// positives, and detection latency — which is what makes detector quality
+// a testable property rather than a vibe.
+//
+// Rule grammar (one rule per line, '#' comments, words split on blanks):
+//
+//   rule NAME threshold SERIES above|below VALUE [hold N]
+//   rule NAME rate      SERIES above|below DELTA window SECONDS
+//   rule NAME absence   SERIES window SECONDS
+//   rule NAME imbalance SERIES above|below RATIO
+//
+// threshold fires while a lane's sampled value compares true against VALUE
+// for N consecutive boundaries (default 1); rate compares the value change
+// over the trailing window; absence fires while a lane's newest raw sample
+// is more than SECONDS older than the newest sample of the same series on
+// any lane (fleet-relative, so a globally idle series never fires);
+// imbalance fires while a lane's value compares true against RATIO times
+// the mean of the other lanes carrying the series.
+
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/schema.hpp"
+#include "obs/trace.hpp"
+
+namespace multihit::obs {
+
+/// Raised on invalid monitor options, malformed rule files, and ill-shaped
+/// truth documents. (Malformed JSON raises JsonParseError earlier.)
+class MonitorError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+enum class RuleKind { kThreshold, kRate, kAbsence, kImbalance };
+enum class RuleCmp { kAbove, kBelow };
+
+/// One declarative alert rule (see the grammar above).
+struct AlertRule {
+  std::string name;
+  RuleKind kind = RuleKind::kThreshold;
+  std::string series;
+  RuleCmp cmp = RuleCmp::kAbove;
+  double value = 0.0;      ///< threshold / minimum delta / imbalance ratio
+  double window = 0.0;     ///< trailing seconds (rate, absence)
+  std::uint32_t hold = 1;  ///< consecutive breached boundaries before firing
+};
+
+/// Parses the rule grammar; throws MonitorError naming the offending line.
+std::vector<AlertRule> parse_rules(std::string_view text);
+
+struct MonitorOptions {
+  /// Sample-boundary cadence in simulated seconds.
+  double sample_every = 0.005;
+  /// Ring-buffer depth per (series, lane): boundaries of history retained.
+  std::uint32_t window_samples = 16;
+  /// Master switch for the built-in failure-mode detectors.
+  bool builtin_detectors = true;
+  /// dead_rank: heartbeat silence beyond this vs the fleet's newest
+  /// heartbeat. Matches CommCostModel::detection_window by default.
+  double heartbeat_timeout = 0.05;
+  /// straggler: a lane fires when its per-iteration compute duration,
+  /// normalized by the other lanes' mean, exceeds this multiple of its own
+  /// cross-iteration baseline ratio.
+  double straggler_ratio = 1.6;
+  /// gpu_collapse: a computing lane fires while its DRAM throughput sits
+  /// below this fraction of the fleet median.
+  double collapse_fraction = 0.5;
+  /// comm_overhead: fires while cumulative comm seconds across rank lanes
+  /// exceed this fraction of cumulative busy seconds (a Fig. 8 breach —
+  /// communication dominating instead of hiding under compute). The default
+  /// sits well above the functional-scale runs' natural ~20% fraction;
+  /// paper-scale traces, where Fig. 8 reports single-digit percentages,
+  /// would configure 0.1-0.15.
+  double comm_overhead_threshold = 0.5;
+  /// message_drop: fires while the retransmit count grew within this
+  /// trailing window (seconds).
+  double drop_window = 0.05;
+  /// User rules, evaluated after the built-in detectors each boundary.
+  std::vector<AlertRule> rules;
+};
+
+/// One fired alert. `cleared` is the boundary the condition stopped holding
+/// (== the final boundary, with `open` set, when it never stopped).
+struct Incident {
+  std::string rule;  ///< detector or rule name ("dead_rank", ...)
+  std::string kind;  ///< "detector" or the rule kind keyword
+  std::uint32_t lane = 0;
+  double fired = 0.0;
+  double cleared = 0.0;
+  bool open = false;
+  double value = 0.0;        ///< observed value at fire time
+  std::string span;          ///< innermost enclosing span at fire ("" none)
+  std::int64_t iteration = -1;  ///< greedy iteration context (-1 none)
+};
+
+/// Sampler inventory for one (series, lane): lifetime stats over the raw
+/// samples plus the trailing ring window of boundary snapshots.
+struct SeriesStat {
+  std::string series;
+  std::uint32_t lane = 0;
+  std::uint64_t samples = 0;  ///< raw counter samples observed
+  double last_at = 0.0;       ///< timestamp of the newest raw sample
+  double min = 0.0;
+  double max = 0.0;
+  double last = 0.0;
+  /// Trailing (boundary, value) ring, oldest first, <= window_samples deep.
+  std::vector<std::pair<double, double>> window;
+};
+
+struct HealthReport {
+  MonitorOptions options;  ///< echo of the evaluated configuration
+  double makespan = 0.0;
+  std::uint64_t boundaries = 0;
+  std::uint32_t rank_lanes = 0;  ///< rank lanes seen carrying telemetry
+  std::vector<SeriesStat> series;
+  std::vector<Incident> incidents;  ///< in fire order (boundary, detector, lane)
+};
+
+/// Replays `trace` through the sampler + rule engine + detectors. Pure and
+/// deterministic: same trace + options => identical report, and running it
+/// never touches the trace (bit-identical-off falls out for free).
+HealthReport monitor_trace(const Tracer& trace, const MonitorOptions& options = {});
+
+/// Renders the multihit.health.v1 JSON document (stable field order; two
+/// identical runs produce byte-identical documents).
+JsonValue health_report(const HealthReport& report);
+
+/// Human-readable rendering; `summary_only` stops after the per-rule counts.
+std::string health_text(const HealthReport& report, bool summary_only = false);
+
+/// Consistency of the incidents against a --metrics-out snapshot: lanes with
+/// dead_rank incidents must match cluster.ranks_lost, and message_drop
+/// incidents must appear iff comm.retransmits counted any. Returns
+/// human-readable mismatches (empty = consistent).
+std::vector<std::string> health_crosscheck(const HealthReport& report,
+                                           const JsonValue& metrics);
+
+/// Adds one "health.<rule>" instant per incident onto the offending lane at
+/// its fire time (category "health"), so incidents line up under the spans
+/// in the Chrome/Perfetto viewer. Intended for a copy of the trace about to
+/// be written out — primary artifacts stay byte-identical without it.
+void annotate_trace(Tracer& trace, const HealthReport& report);
+
+// ---------------------------------------------------------------------------
+// Ground truth. The neutral event shape lives here (not in src/fault)
+// because fault links against obs; src/fault converts its FaultRecords into
+// TruthEvents for export.
+
+/// One injected fault, as the scorer sees it. `kind` uses the fault layer's
+/// names: "crash", "straggler", "drop", "abort".
+struct TruthEvent {
+  std::string kind;
+  std::uint32_t rank = 0;
+  std::uint32_t iteration = 0;
+  double sim_time = 0.0;  ///< injection time on the simulated clock
+};
+
+/// multihit.truth.v1 document for a --truth-out file.
+JsonValue truth_json(const std::vector<TruthEvent>& events);
+
+/// Parses a multihit.truth.v1 document; throws MonitorError on the wrong
+/// schema (naming expected and found) or ill-shaped events.
+std::vector<TruthEvent> truth_from_json(const JsonValue& doc);
+
+struct ClassScore {
+  std::uint32_t injected = 0;
+  std::uint32_t detected = 0;
+  double latency_mean = 0.0;  ///< mean fire delay after injection (s)
+  double latency_max = 0.0;
+};
+
+struct HealthScore {
+  /// Keyed by truth kind ("crash", "straggler", "drop", "abort").
+  std::map<std::string, ClassScore> by_class;
+  /// Built-in detector incidents no truth event accounts for.
+  std::uint32_t false_positives = 0;
+  std::vector<std::string> misses;    ///< truth events never detected
+  std::vector<std::string> spurious;  ///< the false-positive incidents
+  bool perfect() const noexcept;      ///< full recall and no false positives
+};
+
+/// Scores incidents against the injected ground truth. A truth event counts
+/// as detected when an incident of its primary detector class (crash ->
+/// dead_rank, straggler -> straggler, drop -> message_drop, abort ->
+/// job_abort) on the matching lane overlaps [sim_time, sim_time +
+/// detection_window]; corroborating classes (gpu_collapse for stragglers,
+/// comm_overhead for drops) absorb matching incidents without counting as
+/// detections. Unmatched built-in incidents are false positives; custom-rule
+/// incidents are never scored.
+HealthScore score_incidents(const HealthReport& report,
+                            const std::vector<TruthEvent>& truth,
+                            double detection_window);
+
+std::string score_text(const HealthScore& score);
+
+}  // namespace multihit::obs

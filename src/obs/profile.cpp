@@ -336,11 +336,7 @@ JsonValue profile_report(const Profiler& profiler) {
 
 Profiler profiler_from_json(const JsonValue& doc) {
   if (!doc.is_object()) throw ProfileError("profile document is not a JSON object");
-  const JsonValue* schema = doc.find("schema");
-  if (!schema || !schema->is_string() || schema->as_string() != kProfileSchema) {
-    throw ProfileError("profile document is not a " + std::string(kProfileSchema) +
-                       " artifact");
-  }
+  require_schema<ProfileError>(doc, kProfileSchema, "profile document");
 
   Profiler profiler;
   profiler.enable();

@@ -32,12 +32,11 @@
 #include <vector>
 
 #include "obs/json.hpp"
+#include "obs/schema.hpp"
 
 namespace multihit::obs {
 
 class Tracer;
-
-inline constexpr std::string_view kProfileSchema = "multihit.profile.v1";
 
 /// Raised on structurally invalid profile documents (wrong schema, missing
 /// kernel fields). Malformed JSON raises JsonParseError earlier.

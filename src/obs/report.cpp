@@ -22,11 +22,7 @@ std::string fmt(const char* format, double value) {
 }  // namespace
 
 std::map<std::string, double> metrics_counter_totals(const JsonValue& metrics) {
-  const JsonValue* schema = metrics.find("schema");
-  if (!schema || !schema->is_string() || schema->as_string() != kMetricsSchema) {
-    throw AnalysisError("metrics document is not a " + std::string(kMetricsSchema) +
-                        " snapshot");
-  }
+  require_schema<AnalysisError>(metrics, kMetricsSchema, "metrics document");
   std::map<std::string, double> totals;
   const JsonValue* counters = metrics.find("counters");
   if (!counters || !counters->is_array()) {

@@ -1,0 +1,46 @@
+#pragma once
+// One registry for every artifact schema tag the observability layer emits.
+//
+// Every JSON artifact written by this project carries a top-level
+// `"schema": "multihit.<kind>.v1"` tag so offline tools can refuse the wrong
+// file with a useful message instead of mis-parsing it. The constants used
+// to live next to their writers (metrics.hpp, analyze.hpp, profile.hpp,
+// bench.hpp); they are collected here so the full artifact surface is
+// visible in one place and parsers share one mismatch-error shape that
+// names both the expected and the found schema.
+
+#include <string>
+#include <string_view>
+
+#include "obs/json.hpp"
+
+namespace multihit::obs {
+
+/// MetricsRegistry::snapshot() documents (--metrics-out).
+inline constexpr std::string_view kMetricsSchema = "multihit.metrics.v1";
+/// Trace-analysis reports (obstool analyze --report-out).
+inline constexpr std::string_view kAnalysisSchema = "multihit.analysis.v1";
+/// Kernel-profiler artifacts (--profile-out).
+inline constexpr std::string_view kProfileSchema = "multihit.profile.v1";
+/// BenchReporter records (BENCH_*.json under $MULTIHIT_BENCH_DIR).
+inline constexpr std::string_view kBenchSchema = "multihit.bench.v1";
+/// Health-monitor reports (obstool monitor --health-out).
+inline constexpr std::string_view kHealthSchema = "multihit.health.v1";
+/// Fault-injection ground-truth exports (brca_scaleout --truth-out).
+inline constexpr std::string_view kTruthSchema = "multihit.truth.v1";
+
+/// Validates `doc`'s top-level "schema" tag and throws `Error` on mismatch
+/// with a message naming both the expected and the found schema — the found
+/// half is what turns "is not a profile" into "you handed me the metrics
+/// file".
+template <typename Error>
+void require_schema(const JsonValue& doc, std::string_view expected, std::string_view what) {
+  const JsonValue* schema = doc.is_object() ? doc.find("schema") : nullptr;
+  if (schema && schema->is_string() && schema->as_string() == expected) return;
+  std::string found = "(missing)";
+  if (schema) found = schema->is_string() ? "\"" + schema->as_string() + "\"" : "(non-string)";
+  throw Error(std::string(what) + ": expected schema \"" + std::string(expected) +
+              "\", found " + found);
+}
+
+}  // namespace multihit::obs
