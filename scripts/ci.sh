@@ -41,6 +41,44 @@ else
   echo "python3 not found; skipping BENCH schema validation" >&2
 fi
 
+# Bit-kernel gate (strict, not warn-only): bench_bitops exits non-zero unless
+# every backend is bit-identical to scalar AND the AVX2 4-ary AND+popcount
+# clears 2x at paper-scale row lengths; its BENCH series are deterministic
+# booleans, so --strict pins them against the committed baseline without
+# tripping on machine-dependent wall-clock (which lands in metrics only).
+echo "=== bitops backend gate ==="
+MULTIHIT_BENCH_DIR="$bench_dir" build/bench/bench_bitops > /dev/null
+if command -v python3 > /dev/null; then
+  python3 scripts/bench_compare.py --strict "$bench_dir"/BENCH_bench_bitops.json
+fi
+obs_dir="build/obs_smoke"
+mkdir -p "$obs_dir"
+# Forcing the backend must not change a single byte of any run artifact:
+# trace, metrics, and stdout of the functional distributed run are compared
+# across MULTIHIT_BITOPS=scalar and =auto (auto picks SIMD where supported).
+for backend in scalar auto; do
+  MULTIHIT_BITOPS="$backend" build/examples/brca_scaleout 2 \
+    --trace-out "$obs_dir/bitops_$backend.trace.json" \
+    --metrics-out "$obs_dir/bitops_$backend.metrics.json" \
+    > "$obs_dir/bitops_$backend.stdout"
+done
+cmp "$obs_dir/bitops_scalar.trace.json" "$obs_dir/bitops_auto.trace.json"
+cmp "$obs_dir/bitops_scalar.metrics.json" "$obs_dir/bitops_auto.metrics.json"
+# stdout echoes the per-backend artifact paths; normalize that token, then
+# require everything else byte-identical.
+for backend in scalar auto; do
+  sed "s/bitops_$backend\./bitops_BACKEND./g" "$obs_dir/bitops_$backend.stdout" \
+    > "$obs_dir/bitops_$backend.stdout.norm"
+done
+cmp "$obs_dir/bitops_scalar.stdout.norm" "$obs_dir/bitops_auto.stdout.norm"
+# The host-threaded sweep prints real wall-clock (not byte-comparable), but
+# the binary itself exits non-zero unless its selections are identical to
+# the serial and distributed references — run it under both backends.
+for backend in scalar auto; do
+  MULTIHIT_BITOPS="$backend" build/examples/brca_scaleout 1 --host-threads 2 > /dev/null
+done
+echo "bitops backends byte-identical (scalar vs auto), threaded sweep pinned"
+
 # Trace-analysis smoke: a faulty instrumented run, the obstool pipeline on
 # its artifacts, and the determinism gate — analyzing the same trace twice
 # (and re-running the instrumented binary) must produce byte-identical

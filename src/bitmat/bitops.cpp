@@ -1,9 +1,53 @@
 #include "bitmat/bitops.hpp"
 
+#include <atomic>
 #include <bit>
-#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "util/log.hpp"
+
+// Length contracts are active in assert builds and whenever MULTIHIT_CHECKS
+// is defined (the ASan preset turns it on so the optimized sanitizer run
+// still exercises them). Violations abort: a mismatched span means some
+// caller is about to read past a row, and silently truncating to the shorter
+// span would return a plausible-but-wrong popcount.
+#if !defined(NDEBUG) || defined(MULTIHIT_CHECKS)
+#define MULTIHIT_BITOPS_CHECKED 1
+#else
+#define MULTIHIT_BITOPS_CHECKED 0
+#endif
 
 namespace multihit {
+
+namespace {
+
+#if MULTIHIT_BITOPS_CHECKED
+void check_lengths(const char* op, std::size_t a, std::size_t b, std::size_t c = ~std::size_t{0},
+                   std::size_t d = ~std::size_t{0}) noexcept {
+  const bool ok = a == b && (c == ~std::size_t{0} || b == c) &&
+                  (d == ~std::size_t{0} || c == d);
+  if (ok) return;
+  std::fprintf(stderr, "multihit bitops: %s span length mismatch (%zu", op, a);
+  std::fprintf(stderr, ", %zu", b);
+  if (c != ~std::size_t{0}) std::fprintf(stderr, ", %zu", c);
+  if (d != ~std::size_t{0}) std::fprintf(stderr, ", %zu", d);
+  std::fprintf(stderr, ")\n");
+  std::abort();
+}
+#define MULTIHIT_BITOPS_CHECK(...) check_lengths(__VA_ARGS__)
+#else
+#define MULTIHIT_BITOPS_CHECK(...) ((void)0)
+#endif
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Scalar reference backend
+// ---------------------------------------------------------------------------
+
+namespace bitops_scalar {
 
 std::uint64_t popcount_row(std::span<const std::uint64_t> a) noexcept {
   std::uint64_t count = 0;
@@ -11,9 +55,8 @@ std::uint64_t popcount_row(std::span<const std::uint64_t> a) noexcept {
   return count;
 }
 
-std::uint64_t and_popcount(std::span<const std::uint64_t> a,
-                           std::span<const std::uint64_t> b) noexcept {
-  assert(a.size() == b.size());
+std::uint64_t and_popcount2(std::span<const std::uint64_t> a,
+                            std::span<const std::uint64_t> b) noexcept {
   std::uint64_t count = 0;
   for (std::size_t w = 0; w < a.size(); ++w) {
     count += static_cast<std::uint64_t>(std::popcount(a[w] & b[w]));
@@ -21,9 +64,8 @@ std::uint64_t and_popcount(std::span<const std::uint64_t> a,
   return count;
 }
 
-std::uint64_t and_popcount(std::span<const std::uint64_t> a, std::span<const std::uint64_t> b,
-                           std::span<const std::uint64_t> c) noexcept {
-  assert(a.size() == b.size() && b.size() == c.size());
+std::uint64_t and_popcount3(std::span<const std::uint64_t> a, std::span<const std::uint64_t> b,
+                            std::span<const std::uint64_t> c) noexcept {
   std::uint64_t count = 0;
   for (std::size_t w = 0; w < a.size(); ++w) {
     count += static_cast<std::uint64_t>(std::popcount(a[w] & b[w] & c[w]));
@@ -31,10 +73,9 @@ std::uint64_t and_popcount(std::span<const std::uint64_t> a, std::span<const std
   return count;
 }
 
-std::uint64_t and_popcount(std::span<const std::uint64_t> a, std::span<const std::uint64_t> b,
-                           std::span<const std::uint64_t> c,
-                           std::span<const std::uint64_t> d) noexcept {
-  assert(a.size() == b.size() && b.size() == c.size() && c.size() == d.size());
+std::uint64_t and_popcount4(std::span<const std::uint64_t> a, std::span<const std::uint64_t> b,
+                            std::span<const std::uint64_t> c,
+                            std::span<const std::uint64_t> d) noexcept {
   std::uint64_t count = 0;
   for (std::size_t w = 0; w < a.size(); ++w) {
     count += static_cast<std::uint64_t>(std::popcount(a[w] & b[w] & c[w] & d[w]));
@@ -44,13 +85,160 @@ std::uint64_t and_popcount(std::span<const std::uint64_t> a, std::span<const std
 
 void and_rows(std::span<std::uint64_t> dst, std::span<const std::uint64_t> a,
               std::span<const std::uint64_t> b) noexcept {
-  assert(dst.size() == a.size() && a.size() == b.size());
   for (std::size_t w = 0; w < dst.size(); ++w) dst[w] = a[w] & b[w];
 }
 
 void and_rows_inplace(std::span<std::uint64_t> dst, std::span<const std::uint64_t> a) noexcept {
-  assert(dst.size() == a.size());
   for (std::size_t w = 0; w < dst.size(); ++w) dst[w] &= a[w];
+}
+
+}  // namespace bitops_scalar
+
+// ---------------------------------------------------------------------------
+// Dispatch
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct Kernels {
+  BitopsBackend backend;
+  std::uint64_t (*popcount_row)(std::span<const std::uint64_t>) noexcept;
+  std::uint64_t (*and2)(std::span<const std::uint64_t>, std::span<const std::uint64_t>) noexcept;
+  std::uint64_t (*and3)(std::span<const std::uint64_t>, std::span<const std::uint64_t>,
+                        std::span<const std::uint64_t>) noexcept;
+  std::uint64_t (*and4)(std::span<const std::uint64_t>, std::span<const std::uint64_t>,
+                        std::span<const std::uint64_t>, std::span<const std::uint64_t>) noexcept;
+  void (*and_rows)(std::span<std::uint64_t>, std::span<const std::uint64_t>,
+                   std::span<const std::uint64_t>) noexcept;
+  void (*and_rows_inplace)(std::span<std::uint64_t>, std::span<const std::uint64_t>) noexcept;
+};
+
+constexpr Kernels kScalarKernels{
+    BitopsBackend::kScalar,       bitops_scalar::popcount_row, bitops_scalar::and_popcount2,
+    bitops_scalar::and_popcount3, bitops_scalar::and_popcount4, bitops_scalar::and_rows,
+    bitops_scalar::and_rows_inplace,
+};
+
+constexpr Kernels kAvx2Kernels{
+    BitopsBackend::kAvx2,       bitops_avx2::popcount_row, bitops_avx2::and_popcount2,
+    bitops_avx2::and_popcount3, bitops_avx2::and_popcount4, bitops_avx2::and_rows,
+    bitops_avx2::and_rows_inplace,
+};
+
+const Kernels* table_for(BitopsBackend backend) noexcept {
+  return backend == BitopsBackend::kAvx2 ? &kAvx2Kernels : &kScalarKernels;
+}
+
+// Resolved dispatch target. nullptr = not yet resolved; resolution is
+// idempotent (every racer computes the same answer from CPUID + env), so a
+// benign first-use race is fine.
+std::atomic<const Kernels*> g_kernels{nullptr};
+
+const Kernels* resolve_initial() noexcept {
+  const char* env = std::getenv("MULTIHIT_BITOPS");
+  bool ok = true;
+  BitopsBackend backend = parse_backend(env, &ok);
+  if (!ok) {
+    MH_LOG_WARN << "MULTIHIT_BITOPS='" << env
+                << "' not recognized (expected scalar|avx2|auto); using auto";
+  } else if (env != nullptr && !backend_supported(backend)) {
+    MH_LOG_WARN << "MULTIHIT_BITOPS=" << backend_name(backend)
+                << " not supported on this CPU; using scalar";
+    backend = BitopsBackend::kScalar;
+  }
+  return table_for(backend);
+}
+
+const Kernels& kernels() noexcept {
+  const Kernels* k = g_kernels.load(std::memory_order_acquire);
+  if (k == nullptr) {
+    k = resolve_initial();
+    g_kernels.store(k, std::memory_order_release);
+  }
+  return *k;
+}
+
+}  // namespace
+
+const char* backend_name(BitopsBackend backend) noexcept {
+  switch (backend) {
+    case BitopsBackend::kScalar:
+      return "scalar";
+    case BitopsBackend::kAvx2:
+      return "avx2";
+  }
+  return "?";
+}
+
+bool backend_supported(BitopsBackend backend) noexcept {
+  switch (backend) {
+    case BitopsBackend::kScalar:
+      return true;
+    case BitopsBackend::kAvx2:
+#if defined(__x86_64__) || defined(__i386__)
+      // BMI2 ships on every AVX2-era core (Haswell+); requiring both keeps
+      // the backend free to use shlx/pdep in future revisions.
+      return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("bmi2");
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+BitopsBackend parse_backend(const char* name, bool* ok) noexcept {
+  if (ok) *ok = true;
+  const auto best = []() noexcept {
+    return backend_supported(BitopsBackend::kAvx2) ? BitopsBackend::kAvx2
+                                                   : BitopsBackend::kScalar;
+  };
+  if (name == nullptr || std::strcmp(name, "auto") == 0) return best();
+  if (std::strcmp(name, "scalar") == 0) return BitopsBackend::kScalar;
+  if (std::strcmp(name, "avx2") == 0) return BitopsBackend::kAvx2;
+  if (ok) *ok = false;
+  return best();
+}
+
+BitopsBackend active_backend() noexcept { return kernels().backend; }
+
+bool set_backend(BitopsBackend backend) noexcept {
+  if (!backend_supported(backend)) return false;
+  g_kernels.store(table_for(backend), std::memory_order_release);
+  return true;
+}
+
+std::uint64_t popcount_row(std::span<const std::uint64_t> a) noexcept {
+  return kernels().popcount_row(a);
+}
+
+std::uint64_t and_popcount(std::span<const std::uint64_t> a,
+                           std::span<const std::uint64_t> b) noexcept {
+  MULTIHIT_BITOPS_CHECK("and_popcount/2", a.size(), b.size());
+  return kernels().and2(a, b);
+}
+
+std::uint64_t and_popcount(std::span<const std::uint64_t> a, std::span<const std::uint64_t> b,
+                           std::span<const std::uint64_t> c) noexcept {
+  MULTIHIT_BITOPS_CHECK("and_popcount/3", a.size(), b.size(), c.size());
+  return kernels().and3(a, b, c);
+}
+
+std::uint64_t and_popcount(std::span<const std::uint64_t> a, std::span<const std::uint64_t> b,
+                           std::span<const std::uint64_t> c,
+                           std::span<const std::uint64_t> d) noexcept {
+  MULTIHIT_BITOPS_CHECK("and_popcount/4", a.size(), b.size(), c.size(), d.size());
+  return kernels().and4(a, b, c, d);
+}
+
+void and_rows(std::span<std::uint64_t> dst, std::span<const std::uint64_t> a,
+              std::span<const std::uint64_t> b) noexcept {
+  MULTIHIT_BITOPS_CHECK("and_rows", dst.size(), a.size(), b.size());
+  kernels().and_rows(dst, a, b);
+}
+
+void and_rows_inplace(std::span<std::uint64_t> dst, std::span<const std::uint64_t> a) noexcept {
+  MULTIHIT_BITOPS_CHECK("and_rows_inplace", dst.size(), a.size());
+  kernels().and_rows_inplace(dst, a);
 }
 
 }  // namespace multihit

@@ -1,16 +1,75 @@
 #pragma once
-// Word-level kernels over packed sample rows.
+// Word-level kernels over packed sample rows, behind a runtime-dispatched
+// backend.
 //
 // The paper packs 64 samples per `unsigned long long` (a 32x memory
 // reduction versus one int per sample) and replaces per-sample arithmetic
 // with bitwise AND + popcount. These free functions are the arithmetic core
-// of every enumeration kernel; they are deliberately branch-free loops the
-// compiler can vectorize.
+// of every enumeration kernel — every combination a kernel visits costs one
+// and_popcount per matrix — so they are the unit of scale the whole system
+// is built around.
+//
+// Two implementations live behind the public functions:
+//
+//   kScalar  portable word loop (std::popcount); the bit-exact reference
+//            every other backend is pinned to in tests/test_bitops_simd.cpp.
+//   kAvx2    AVX2 bit-sliced kernels: 4 words per vector, nibble-LUT
+//            (vpshufb) popcount with Harley-Seal carry-save accumulation on
+//            long rows, unaligned loads throughout (rows are only 8-byte
+//            aligned after BitSplicing shifts). Compiled with per-function
+//            target attributes, so the rest of the binary stays baseline
+//            x86-64 and the backend is a pure *runtime* decision.
+//
+// Dispatch is resolved once from CPUID (and the MULTIHIT_BITOPS environment
+// override: "scalar", "avx2", or "auto") on first use; set_backend() can
+// retarget it at any time. All backends produce bit-identical counts, so the
+// choice is invisible to everything above — only the wall clock moves.
+//
+// Length contract: all multi-row operations require equal-length spans. In
+// checked builds (!NDEBUG or MULTIHIT_CHECKS, the ASan preset) a mismatch
+// aborts with a diagnostic; release builds trust the caller (BitMatrix rows
+// are same-width by construction).
 
 #include <cstdint>
 #include <span>
 
 namespace multihit {
+
+// ---------------------------------------------------------------------------
+// Backend selection
+// ---------------------------------------------------------------------------
+
+enum class BitopsBackend {
+  kScalar,  ///< portable reference path
+  kAvx2,    ///< AVX2(+BMI2) vectorized popcount
+};
+
+/// Human-readable backend name ("scalar", "avx2").
+const char* backend_name(BitopsBackend backend) noexcept;
+
+/// True when the running CPU can execute `backend` (CPUID probe; kScalar is
+/// always supported).
+bool backend_supported(BitopsBackend backend) noexcept;
+
+/// The backend the free functions currently dispatch to. First call resolves
+/// the MULTIHIT_BITOPS override ("scalar" | "avx2" | "auto"; unset == auto);
+/// auto picks the fastest supported backend. An unsupported or unrecognized
+/// override logs a warning and falls back to auto.
+BitopsBackend active_backend() noexcept;
+
+/// Retargets dispatch. Returns false (and leaves dispatch unchanged) when
+/// the backend is not supported on this CPU. Thread-safe, but callers are
+/// expected to settle the backend before spawning sweep workers.
+bool set_backend(BitopsBackend backend) noexcept;
+
+/// Parses a MULTIHIT_BITOPS-style name: "scalar" -> kScalar, "avx2" ->
+/// kAvx2, "auto" / nullptr -> the best supported backend. Unknown names
+/// return auto and set *ok to false when ok is non-null.
+BitopsBackend parse_backend(const char* name, bool* ok = nullptr) noexcept;
+
+// ---------------------------------------------------------------------------
+// Dispatched kernels (the public hot path)
+// ---------------------------------------------------------------------------
 
 /// popcount over one row.
 std::uint64_t popcount_row(std::span<const std::uint64_t> a) noexcept;
@@ -36,5 +95,42 @@ void and_rows(std::span<std::uint64_t> dst, std::span<const std::uint64_t> a,
 
 /// dst &= a, in place.
 void and_rows_inplace(std::span<std::uint64_t> dst, std::span<const std::uint64_t> a) noexcept;
+
+// ---------------------------------------------------------------------------
+// Direct backend entry points (tests and benches pin these against each
+// other; production code goes through the dispatched functions above)
+// ---------------------------------------------------------------------------
+
+namespace bitops_scalar {
+std::uint64_t popcount_row(std::span<const std::uint64_t> a) noexcept;
+std::uint64_t and_popcount2(std::span<const std::uint64_t> a,
+                            std::span<const std::uint64_t> b) noexcept;
+std::uint64_t and_popcount3(std::span<const std::uint64_t> a, std::span<const std::uint64_t> b,
+                            std::span<const std::uint64_t> c) noexcept;
+std::uint64_t and_popcount4(std::span<const std::uint64_t> a, std::span<const std::uint64_t> b,
+                            std::span<const std::uint64_t> c,
+                            std::span<const std::uint64_t> d) noexcept;
+void and_rows(std::span<std::uint64_t> dst, std::span<const std::uint64_t> a,
+              std::span<const std::uint64_t> b) noexcept;
+void and_rows_inplace(std::span<std::uint64_t> dst, std::span<const std::uint64_t> a) noexcept;
+}  // namespace bitops_scalar
+
+/// AVX2 entry points exist on every x86-64 build (per-function target
+/// attributes); calling them on a CPU without AVX2 is undefined — gate on
+/// backend_supported(BitopsBackend::kAvx2). On non-x86 builds they forward
+/// to the scalar reference so callers can link unconditionally.
+namespace bitops_avx2 {
+std::uint64_t popcount_row(std::span<const std::uint64_t> a) noexcept;
+std::uint64_t and_popcount2(std::span<const std::uint64_t> a,
+                            std::span<const std::uint64_t> b) noexcept;
+std::uint64_t and_popcount3(std::span<const std::uint64_t> a, std::span<const std::uint64_t> b,
+                            std::span<const std::uint64_t> c) noexcept;
+std::uint64_t and_popcount4(std::span<const std::uint64_t> a, std::span<const std::uint64_t> b,
+                            std::span<const std::uint64_t> c,
+                            std::span<const std::uint64_t> d) noexcept;
+void and_rows(std::span<std::uint64_t> dst, std::span<const std::uint64_t> a,
+              std::span<const std::uint64_t> b) noexcept;
+void and_rows_inplace(std::span<std::uint64_t> dst, std::span<const std::uint64_t> a) noexcept;
+}  // namespace bitops_avx2
 
 }  // namespace multihit

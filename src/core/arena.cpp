@@ -1,0 +1,58 @@
+#include "core/arena.hpp"
+
+#include <algorithm>
+
+namespace multihit {
+
+namespace {
+constexpr std::size_t kMinBlockWords = 1024;  // 8 KiB
+}
+
+Arena::Arena(std::size_t initial_words) {
+  if (initial_words > 0) grow(initial_words);
+}
+
+Arena::Block& Arena::grow(std::size_t min_words) {
+  // Geometric growth over total capacity keeps the block count logarithmic;
+  // after a reset the whole demand lands in the blocks already present.
+  const std::size_t target = std::max({min_words, kMinBlockWords, capacity_words()});
+  Block block;
+  block.words = std::make_unique<std::uint64_t[]>(target);
+  block.size = target;
+  blocks_.push_back(std::move(block));
+  ++block_allocations_;
+  return blocks_.back();
+}
+
+std::span<std::uint64_t> Arena::alloc_words(std::size_t n) {
+  if (n == 0) return {};
+  while (cursor_ < blocks_.size()) {
+    Block& block = blocks_[cursor_];
+    if (block.size - block.offset >= n) {
+      std::uint64_t* out = block.words.get() + block.offset;
+      block.offset += n;
+      used_ += n;
+      return {out, n};
+    }
+    ++cursor_;
+  }
+  Block& block = grow(n);
+  cursor_ = blocks_.size() - 1;
+  block.offset = n;
+  used_ += n;
+  return {block.words.get(), n};
+}
+
+void Arena::reset() noexcept {
+  for (Block& block : blocks_) block.offset = 0;
+  cursor_ = 0;
+  used_ = 0;
+}
+
+std::size_t Arena::capacity_words() const noexcept {
+  std::size_t total = 0;
+  for (const Block& block : blocks_) total += block.size;
+  return total;
+}
+
+}  // namespace multihit

@@ -1,0 +1,143 @@
+#include "core/hostsweep.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "core/arena.hpp"
+#include "core/workqueue.hpp"
+
+namespace multihit {
+
+namespace {
+
+/// One per-chunk winner, tagged with the chunk's begin λ for the
+/// deterministic index-ordered fold.
+struct Candidate {
+  std::uint64_t chunk_begin = 0;
+  EvalResult result;
+};
+
+/// Everything one worker produces; padded out by vector element granularity,
+/// written only by its owner until join.
+struct WorkerOutput {
+  std::vector<Candidate> candidates;
+  KernelStats stats;
+  std::uint64_t chunks = 0;
+  std::uint64_t arena_blocks = 0;
+};
+
+std::uint64_t total_threads(const HostSweepOptions& options, std::uint32_t genes) {
+  switch (options.hits) {
+    case 2:
+      return scheme2_threads(options.scheme2, genes);
+    case 3:
+      return scheme3_threads(options.scheme3, genes);
+    case 4:
+      return scheme4_threads(options.scheme4, genes);
+    case 5:
+      return scheme5_threads(options.scheme5, genes);
+    default:
+      throw std::invalid_argument("host sweep: hits must be in [2, 5]");
+  }
+}
+
+EvalResult evaluate_chunk(const BitMatrix& tumor, const BitMatrix& normal, const FContext& ctx,
+                          const HostSweepOptions& options, std::uint64_t begin,
+                          std::uint64_t end, KernelStats* stats, Arena* arena) {
+  switch (options.hits) {
+    case 2:
+      return evaluate_range_2hit(tumor, normal, ctx, options.scheme2, begin, end,
+                                 options.mem_opts, stats, arena);
+    case 3:
+      return evaluate_range_3hit(tumor, normal, ctx, options.scheme3, begin, end,
+                                 options.mem_opts, stats, arena);
+    case 4:
+      return evaluate_range_4hit(tumor, normal, ctx, options.scheme4, begin, end,
+                                 options.mem_opts, stats, arena);
+    default:
+      return evaluate_range_5hit(tumor, normal, ctx, options.scheme5, begin, end,
+                                 options.mem_opts, stats, arena);
+  }
+}
+
+}  // namespace
+
+EvalResult host_sweep_find_best(const BitMatrix& tumor, const BitMatrix& normal,
+                                const FContext& ctx, const HostSweepOptions& options,
+                                HostSweepTelemetry* telemetry) {
+  if (tumor.genes() != normal.genes()) {
+    throw std::invalid_argument("host sweep: tumor/normal gene counts differ");
+  }
+  const std::uint64_t lambda_end = total_threads(options, tumor.genes());
+
+  std::uint32_t workers = options.threads;
+  if (workers == 0) workers = std::max(1u, std::thread::hardware_concurrency());
+  // No point spinning up more workers than there are chunks.
+  ChunkQueue queue(0, lambda_end, options.chunk);
+  workers = static_cast<std::uint32_t>(
+      std::min<std::uint64_t>(workers, std::max<std::uint64_t>(1, queue.chunk_count())));
+
+  std::vector<WorkerOutput> outputs(workers);
+  const auto worker_body = [&](std::uint32_t id) {
+    WorkerOutput& out = outputs[id];
+    Arena arena;
+    std::uint64_t begin = 0, end = 0;
+    while (queue.next(&begin, &end)) {
+      // The arena reset makes every chunk's Scratch land on the same warm
+      // block — per-chunk allocation drops to zero after the first grab.
+      arena.reset();
+      const EvalResult best =
+          evaluate_chunk(tumor, normal, ctx, options, begin, end, &out.stats, &arena);
+      ++out.chunks;
+      if (best.valid) out.candidates.push_back({begin, best});
+    }
+    out.arena_blocks = arena.block_allocations();
+  };
+
+  if (workers <= 1) {
+    worker_body(0);
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::uint32_t id = 0; id < workers; ++id) pool.emplace_back(worker_body, id);
+    for (std::thread& t : pool) t.join();
+  }
+
+  // Deterministic merge: concatenate per-worker candidate lists, order by
+  // chunk-begin λ (chunks are disjoint, so the key is unique), fold with
+  // merge_results. The sort makes the fold order independent of which worker
+  // happened to grab which chunk; merge_results' total order already makes
+  // the *result* order-independent — both layers are pinned by tests.
+  std::vector<Candidate> merged;
+  for (const WorkerOutput& out : outputs) {
+    merged.insert(merged.end(), out.candidates.begin(), out.candidates.end());
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const Candidate& a, const Candidate& b) { return a.chunk_begin < b.chunk_begin; });
+  EvalResult best;
+  for (const Candidate& candidate : merged) best = merge_results(best, candidate.result);
+
+  if (telemetry != nullptr) {
+    telemetry->threads = workers;
+    telemetry->candidates = static_cast<std::uint64_t>(merged.size());
+    telemetry->chunks = 0;
+    telemetry->arena_blocks = 0;
+    telemetry->stats = {};
+    for (const WorkerOutput& out : outputs) {
+      telemetry->chunks += out.chunks;
+      telemetry->arena_blocks += out.arena_blocks;
+      telemetry->stats += out.stats;
+    }
+  }
+  return best;
+}
+
+Evaluator make_host_sweep_evaluator(HostSweepOptions options) {
+  return [options](const BitMatrix& tumor, const BitMatrix& normal, const FContext& ctx) {
+    return host_sweep_find_best(tumor, normal, ctx, options);
+  };
+}
+
+}  // namespace multihit

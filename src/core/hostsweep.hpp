@@ -1,0 +1,61 @@
+#pragma once
+// Host-side multithreaded sweep: the real combinatorial workload on real
+// silicon.
+//
+// The simulated cluster partitions the λ space with the equi-area scheduler
+// and *models* time; this sweep runs the same enumeration kernels over the
+// same λ space with actual std::threads, pulling fixed-size chunks off a
+// lock-free ChunkQueue (core/workqueue.hpp) so stragglers self-balance —
+// the planar_mt.cpp shape: atomic work counter, per-worker accumulation,
+// merge at the end.
+//
+// Determinism: every chunk produces at most one candidate tagged with its
+// chunk-begin λ; workers append to private lists, and the final fold sorts
+// candidates by that linear index before merging. Together with the strict
+// (F desc, rank asc) total order of EvalResult, selections are bit-identical
+// across thread counts, chunk sizes, and backends — pinned by
+// tests/test_hostsweep.cpp against both the serial reference and the
+// simulated-cluster path.
+
+#include <cstdint>
+
+#include "bitmat/bitmatrix.hpp"
+#include "core/engine.hpp"
+#include "core/fscore.hpp"
+#include "core/result.hpp"
+#include "core/schemes.hpp"
+
+namespace multihit {
+
+struct HostSweepOptions {
+  std::uint32_t hits = 4;       ///< 2, 3, 4, or 5
+  std::uint32_t threads = 0;    ///< worker count; 0 = hardware_concurrency
+  std::uint64_t chunk = 1024;   ///< λ indices per queue grab
+  Scheme4 scheme4 = Scheme4::k3x1;  ///< used when hits == 4
+  Scheme3 scheme3 = Scheme3::k2x1;  ///< used when hits == 3
+  Scheme2 scheme2 = Scheme2::k1x1;  ///< used when hits == 2
+  Scheme5 scheme5 = Scheme5::k4x1;  ///< used when hits == 5
+  MemOpts mem_opts{.prefetch_i = true, .prefetch_j = true};
+};
+
+/// Wall-clock-free accounting for one sweep (all deterministic).
+struct HostSweepTelemetry {
+  std::uint32_t threads = 0;        ///< workers actually launched
+  std::uint64_t chunks = 0;         ///< chunks distributed
+  std::uint64_t candidates = 0;     ///< valid per-chunk candidates merged
+  std::uint64_t arena_blocks = 0;   ///< heap blocks across all worker arenas
+  KernelStats stats;                ///< summed over workers in index order
+};
+
+/// One maxF evaluation over the full λ space of the scheme selected by
+/// options.hits, distributed over host threads. Requires
+/// tumor.genes() == normal.genes() and options.hits in [2, 5].
+EvalResult host_sweep_find_best(const BitMatrix& tumor, const BitMatrix& normal,
+                                const FContext& ctx, const HostSweepOptions& options,
+                                HostSweepTelemetry* telemetry = nullptr);
+
+/// Evaluator running the threaded sweep each greedy iteration — drop-in for
+/// make_serial_evaluator/make_kernel_evaluator in run_greedy.
+Evaluator make_host_sweep_evaluator(HostSweepOptions options);
+
+}  // namespace multihit

@@ -2,9 +2,11 @@
 // Shared internals of the enumeration kernels (core/schemes*.cpp only).
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "combinat/linearize.hpp"
+#include "core/arena.hpp"
 #include "core/fscore.hpp"
 #include "core/result.hpp"
 
@@ -45,13 +47,35 @@ class BestTracker {
   EvalResult best_;
 };
 
-// Scratch buffers for prefetch staging, one pair per nesting depth.
+// Scratch buffers for prefetch staging, one pair per nesting depth. With an
+// arena, buffers are bump-allocated (the caller owns the reset cadence — the
+// host sweep resets per chunk, the device model per launch); without one the
+// scratch self-owns a single heap block, preserving the old behavior.
 struct Scratch {
-  Scratch(std::uint32_t tumor_words, std::uint32_t normal_words)
-      : t1(tumor_words), t2(tumor_words), t3(tumor_words),
-        n1(normal_words), n2(normal_words), n3(normal_words) {}
-  std::vector<std::uint64_t> t1, t2, t3;
-  std::vector<std::uint64_t> n1, n2, n3;
+  Scratch(std::uint32_t tumor_words, std::uint32_t normal_words, Arena* arena = nullptr) {
+    const std::size_t total =
+        3 * (static_cast<std::size_t>(tumor_words) + static_cast<std::size_t>(normal_words));
+    std::span<std::uint64_t> block;
+    if (arena != nullptr) {
+      block = arena->alloc_words(total);
+    } else {
+      own_.resize(total);
+      block = own_;
+    }
+    t1 = block.subspan(0, tumor_words);
+    t2 = block.subspan(tumor_words, tumor_words);
+    t3 = block.subspan(2 * static_cast<std::size_t>(tumor_words), tumor_words);
+    const std::size_t n0 = 3 * static_cast<std::size_t>(tumor_words);
+    n1 = block.subspan(n0, normal_words);
+    n2 = block.subspan(n0 + normal_words, normal_words);
+    n3 = block.subspan(n0 + 2 * static_cast<std::size_t>(normal_words), normal_words);
+  }
+
+  std::span<std::uint64_t> t1, t2, t3;
+  std::span<std::uint64_t> n1, n2, n3;
+
+ private:
+  std::vector<std::uint64_t> own_;
 };
 
 // Colex successor of a pair (i < j).

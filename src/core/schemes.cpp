@@ -25,12 +25,12 @@ using detail::advance_triple;
 // Thread = (i, j, k); inner loop over l (the paper's Algorithm 3).
 EvalResult eval4_3x1(const BitMatrix& tumor, const BitMatrix& normal, const FContext& ctx,
                      std::uint64_t begin, std::uint64_t end, const MemOpts& opts,
-                     KernelStats* stats) {
+                     KernelStats* stats, Arena* arena) {
   const std::uint32_t genes = tumor.genes();
   const std::uint64_t wt = tumor.words_per_row();
   const std::uint64_t wn = normal.words_per_row();
   BestTracker best(ctx);
-  Scratch scratch(tumor.words_per_row(), normal.words_per_row());
+  Scratch scratch(tumor.words_per_row(), normal.words_per_row(), arena);
 
   Triple t = begin < end ? unrank_triple(begin) : Triple{};
   for (std::uint64_t lambda = begin; lambda < end; ++lambda, advance_triple(t)) {
@@ -91,12 +91,12 @@ EvalResult eval4_3x1(const BitMatrix& tumor, const BitMatrix& normal, const FCon
 // Thread = (i, j); inner loops over k, l (the paper's Algorithm 2).
 EvalResult eval4_2x2(const BitMatrix& tumor, const BitMatrix& normal, const FContext& ctx,
                      std::uint64_t begin, std::uint64_t end, const MemOpts& opts,
-                     KernelStats* stats) {
+                     KernelStats* stats, Arena* arena) {
   const std::uint32_t genes = tumor.genes();
   const std::uint64_t wt = tumor.words_per_row();
   const std::uint64_t wn = normal.words_per_row();
   BestTracker best(ctx);
-  Scratch scratch(tumor.words_per_row(), normal.words_per_row());
+  Scratch scratch(tumor.words_per_row(), normal.words_per_row(), arena);
 
   Pair p = begin < end ? unrank_pair(begin) : Pair{};
   for (std::uint64_t lambda = begin; lambda < end; ++lambda, advance_pair(p)) {
@@ -168,12 +168,12 @@ EvalResult eval4_2x2(const BitMatrix& tumor, const BitMatrix& normal, const FCon
 // Thread = i; inner loops over j, k, l.
 EvalResult eval4_1x3(const BitMatrix& tumor, const BitMatrix& normal, const FContext& ctx,
                      std::uint64_t begin, std::uint64_t end, const MemOpts& opts,
-                     KernelStats* stats) {
+                     KernelStats* stats, Arena* arena) {
   const std::uint32_t genes = tumor.genes();
   const std::uint64_t wt = tumor.words_per_row();
   const std::uint64_t wn = normal.words_per_row();
   BestTracker best(ctx);
-  Scratch scratch(tumor.words_per_row(), normal.words_per_row());
+  Scratch scratch(tumor.words_per_row(), normal.words_per_row(), arena);
 
   for (std::uint64_t lambda = begin; lambda < end; ++lambda) {
     const auto i = static_cast<std::uint32_t>(lambda);
@@ -278,12 +278,12 @@ EvalResult eval4_4x1(const BitMatrix& tumor, const BitMatrix& normal, const FCon
 // Thread = (i, j); inner loop over k (the paper's Algorithm 1).
 EvalResult eval3_2x1(const BitMatrix& tumor, const BitMatrix& normal, const FContext& ctx,
                      std::uint64_t begin, std::uint64_t end, const MemOpts& opts,
-                     KernelStats* stats) {
+                     KernelStats* stats, Arena* arena) {
   const std::uint32_t genes = tumor.genes();
   const std::uint64_t wt = tumor.words_per_row();
   const std::uint64_t wn = normal.words_per_row();
   BestTracker best(ctx);
-  Scratch scratch(tumor.words_per_row(), normal.words_per_row());
+  Scratch scratch(tumor.words_per_row(), normal.words_per_row(), arena);
 
   Pair p = begin < end ? unrank_pair(begin) : Pair{};
   for (std::uint64_t lambda = begin; lambda < end; ++lambda, advance_pair(p)) {
@@ -340,12 +340,12 @@ EvalResult eval3_2x1(const BitMatrix& tumor, const BitMatrix& normal, const FCon
 // Thread = i; inner loops over j, k.
 EvalResult eval3_1x2(const BitMatrix& tumor, const BitMatrix& normal, const FContext& ctx,
                      std::uint64_t begin, std::uint64_t end, const MemOpts& opts,
-                     KernelStats* stats) {
+                     KernelStats* stats, Arena* arena) {
   const std::uint32_t genes = tumor.genes();
   const std::uint64_t wt = tumor.words_per_row();
   const std::uint64_t wn = normal.words_per_row();
   BestTracker best(ctx);
-  Scratch scratch(tumor.words_per_row(), normal.words_per_row());
+  Scratch scratch(tumor.words_per_row(), normal.words_per_row(), arena);
 
   for (std::uint64_t lambda = begin; lambda < end; ++lambda) {
     const auto i = static_cast<std::uint32_t>(lambda);
@@ -519,16 +519,17 @@ std::uint64_t scheme3_thread_work(Scheme3 scheme, std::uint32_t genes,
 
 EvalResult evaluate_range_4hit(const BitMatrix& tumor, const BitMatrix& normal,
                                const FContext& ctx, Scheme4 scheme, std::uint64_t begin,
-                               std::uint64_t end, const MemOpts& opts, KernelStats* stats) {
+                               std::uint64_t end, const MemOpts& opts, KernelStats* stats,
+                               Arena* arena) {
   assert(tumor.genes() == normal.genes());
   assert(end <= scheme4_threads(scheme, tumor.genes()));
   switch (scheme) {
     case Scheme4::k1x3:
-      return eval4_1x3(tumor, normal, ctx, begin, end, opts, stats);
+      return eval4_1x3(tumor, normal, ctx, begin, end, opts, stats, arena);
     case Scheme4::k2x2:
-      return eval4_2x2(tumor, normal, ctx, begin, end, opts, stats);
+      return eval4_2x2(tumor, normal, ctx, begin, end, opts, stats, arena);
     case Scheme4::k3x1:
-      return eval4_3x1(tumor, normal, ctx, begin, end, opts, stats);
+      return eval4_3x1(tumor, normal, ctx, begin, end, opts, stats, arena);
     case Scheme4::k4x1:
       return eval4_4x1(tumor, normal, ctx, begin, end, stats);
   }
@@ -537,14 +538,15 @@ EvalResult evaluate_range_4hit(const BitMatrix& tumor, const BitMatrix& normal,
 
 EvalResult evaluate_range_3hit(const BitMatrix& tumor, const BitMatrix& normal,
                                const FContext& ctx, Scheme3 scheme, std::uint64_t begin,
-                               std::uint64_t end, const MemOpts& opts, KernelStats* stats) {
+                               std::uint64_t end, const MemOpts& opts, KernelStats* stats,
+                               Arena* arena) {
   assert(tumor.genes() == normal.genes());
   assert(end <= scheme3_threads(scheme, tumor.genes()));
   switch (scheme) {
     case Scheme3::k1x2:
-      return eval3_1x2(tumor, normal, ctx, begin, end, opts, stats);
+      return eval3_1x2(tumor, normal, ctx, begin, end, opts, stats, arena);
     case Scheme3::k2x1:
-      return eval3_2x1(tumor, normal, ctx, begin, end, opts, stats);
+      return eval3_2x1(tumor, normal, ctx, begin, end, opts, stats, arena);
     case Scheme3::k3x1:
       return eval3_3x1(tumor, normal, ctx, begin, end, stats);
   }

@@ -23,6 +23,7 @@
 #include <cstdint>
 
 #include "bitmat/bitmatrix.hpp"
+#include "core/arena.hpp"
 #include "core/fscore.hpp"
 #include "core/result.hpp"
 
@@ -72,29 +73,31 @@ std::uint64_t scheme5_thread_work(Scheme5 scheme, std::uint32_t genes,
 
 /// 4-hit maxF kernel over threads [begin, end) of `scheme`. Both matrices
 /// must have identical gene counts. `stats`, when non-null, accumulates the
-/// operation/traffic counts used by the GPU performance model.
+/// operation/traffic counts used by the GPU performance model. `arena`,
+/// when non-null, supplies the prefetch scratch (bump-allocated; the caller
+/// owns the reset cadence) instead of a per-call heap allocation.
 EvalResult evaluate_range_4hit(const BitMatrix& tumor, const BitMatrix& normal,
                                const FContext& ctx, Scheme4 scheme, std::uint64_t begin,
                                std::uint64_t end, const MemOpts& opts = {},
-                               KernelStats* stats = nullptr);
+                               KernelStats* stats = nullptr, Arena* arena = nullptr);
 
 /// 3-hit maxF kernel over threads [begin, end) of `scheme`.
 EvalResult evaluate_range_3hit(const BitMatrix& tumor, const BitMatrix& normal,
                                const FContext& ctx, Scheme3 scheme, std::uint64_t begin,
                                std::uint64_t end, const MemOpts& opts = {},
-                               KernelStats* stats = nullptr);
+                               KernelStats* stats = nullptr, Arena* arena = nullptr);
 
 /// 2-hit maxF kernel. MemOpt2 has no second fixed row to fold at this hit
 /// count; prefetch_j is accepted and behaves like prefetch_i.
 EvalResult evaluate_range_2hit(const BitMatrix& tumor, const BitMatrix& normal,
                                const FContext& ctx, Scheme2 scheme, std::uint64_t begin,
                                std::uint64_t end, const MemOpts& opts = {},
-                               KernelStats* stats = nullptr);
+                               KernelStats* stats = nullptr, Arena* arena = nullptr);
 
 /// 5-hit maxF kernel. Requires C(genes,5) to fit u64 (genes <= 18580).
 EvalResult evaluate_range_5hit(const BitMatrix& tumor, const BitMatrix& normal,
                                const FContext& ctx, Scheme5 scheme, std::uint64_t begin,
                                std::uint64_t end, const MemOpts& opts = {},
-                               KernelStats* stats = nullptr);
+                               KernelStats* stats = nullptr, Arena* arena = nullptr);
 
 }  // namespace multihit

@@ -28,12 +28,12 @@ using detail::advance_triple;
 // Thread = i; inner loop over j.
 EvalResult eval2_1x1(const BitMatrix& tumor, const BitMatrix& normal, const FContext& ctx,
                      std::uint64_t begin, std::uint64_t end, const MemOpts& opts,
-                     KernelStats* stats) {
+                     KernelStats* stats, Arena* arena) {
   const std::uint32_t genes = tumor.genes();
   const std::uint64_t wt = tumor.words_per_row();
   const std::uint64_t wn = normal.words_per_row();
   BestTracker best(ctx);
-  Scratch scratch(tumor.words_per_row(), normal.words_per_row());
+  Scratch scratch(tumor.words_per_row(), normal.words_per_row(), arena);
   const bool prefetch = opts.prefetch_i || opts.prefetch_j;
 
   for (std::uint64_t lambda = begin; lambda < end; ++lambda) {
@@ -97,12 +97,12 @@ EvalResult eval2_2x1(const BitMatrix& tumor, const BitMatrix& normal, const FCon
 // successor, with the O(G) workload spread that made 3x1 scale.
 EvalResult eval5_4x1(const BitMatrix& tumor, const BitMatrix& normal, const FContext& ctx,
                      std::uint64_t begin, std::uint64_t end, const MemOpts& opts,
-                     KernelStats* stats) {
+                     KernelStats* stats, Arena* arena) {
   const std::uint32_t genes = tumor.genes();
   const std::uint64_t wt = tumor.words_per_row();
   const std::uint64_t wn = normal.words_per_row();
   BestTracker best(ctx);
-  Scratch scratch(tumor.words_per_row(), normal.words_per_row());
+  Scratch scratch(tumor.words_per_row(), normal.words_per_row(), arena);
 
   Quad q = begin < end ? unrank_quad(begin) : Quad{};
   for (std::uint64_t lambda = begin; lambda < end; ++lambda, advance_quad(q)) {
@@ -166,12 +166,12 @@ EvalResult eval5_4x1(const BitMatrix& tumor, const BitMatrix& normal, const FCon
 // Thread = (i, j, k); inner loops over l, m.
 EvalResult eval5_3x2(const BitMatrix& tumor, const BitMatrix& normal, const FContext& ctx,
                      std::uint64_t begin, std::uint64_t end, const MemOpts& opts,
-                     KernelStats* stats) {
+                     KernelStats* stats, Arena* arena) {
   const std::uint32_t genes = tumor.genes();
   const std::uint64_t wt = tumor.words_per_row();
   const std::uint64_t wn = normal.words_per_row();
   BestTracker best(ctx);
-  Scratch scratch(tumor.words_per_row(), normal.words_per_row());
+  Scratch scratch(tumor.words_per_row(), normal.words_per_row(), arena);
 
   Triple t = begin < end ? unrank_triple(begin) : Triple{};
   for (std::uint64_t lambda = begin; lambda < end; ++lambda, advance_triple(t)) {
@@ -316,12 +316,13 @@ std::uint64_t scheme5_thread_work(Scheme5 scheme, std::uint32_t genes,
 
 EvalResult evaluate_range_2hit(const BitMatrix& tumor, const BitMatrix& normal,
                                const FContext& ctx, Scheme2 scheme, std::uint64_t begin,
-                               std::uint64_t end, const MemOpts& opts, KernelStats* stats) {
+                               std::uint64_t end, const MemOpts& opts, KernelStats* stats,
+                               Arena* arena) {
   assert(tumor.genes() == normal.genes());
   assert(end <= scheme2_threads(scheme, tumor.genes()));
   switch (scheme) {
     case Scheme2::k1x1:
-      return eval2_1x1(tumor, normal, ctx, begin, end, opts, stats);
+      return eval2_1x1(tumor, normal, ctx, begin, end, opts, stats, arena);
     case Scheme2::k2x1:
       return eval2_2x1(tumor, normal, ctx, begin, end, stats);
   }
@@ -330,14 +331,15 @@ EvalResult evaluate_range_2hit(const BitMatrix& tumor, const BitMatrix& normal,
 
 EvalResult evaluate_range_5hit(const BitMatrix& tumor, const BitMatrix& normal,
                                const FContext& ctx, Scheme5 scheme, std::uint64_t begin,
-                               std::uint64_t end, const MemOpts& opts, KernelStats* stats) {
+                               std::uint64_t end, const MemOpts& opts, KernelStats* stats,
+                               Arena* arena) {
   assert(tumor.genes() == normal.genes());
   assert(end <= scheme5_threads(scheme, tumor.genes()));
   switch (scheme) {
     case Scheme5::k3x2:
-      return eval5_3x2(tumor, normal, ctx, begin, end, opts, stats);
+      return eval5_3x2(tumor, normal, ctx, begin, end, opts, stats, arena);
     case Scheme5::k4x1:
-      return eval5_4x1(tumor, normal, ctx, begin, end, opts, stats);
+      return eval5_4x1(tumor, normal, ctx, begin, end, opts, stats, arena);
   }
   return {};
 }

@@ -37,6 +37,7 @@ DeviceRunResult GpuDevice::run_pipeline(const Partition& partition,
   for (std::uint64_t b = 0; b < result.blocks; ++b) {
     const std::uint64_t begin = partition.begin + b * spec_.block_size;
     const std::uint64_t end = std::min<std::uint64_t>(begin + spec_.block_size, partition.end);
+    arena_.reset();  // block scratch reuses the device arena across launches
     block_candidates.push_back(eval_block(begin, end, &result.stats));
   }
   result.candidate_bytes = result.blocks * kCandidateBytes;
@@ -135,7 +136,7 @@ DeviceRunResult GpuDevice::run_4hit(const BitMatrix& tumor, const BitMatrix& nor
                                     const Partition& partition, const MemOpts& opts) const {
   return run_pipeline(partition, [&](std::uint64_t begin, std::uint64_t end,
                                      KernelStats* stats) {
-    return evaluate_range_4hit(tumor, normal, ctx, scheme, begin, end, opts, stats);
+    return evaluate_range_4hit(tumor, normal, ctx, scheme, begin, end, opts, stats, &arena_);
   });
 }
 
@@ -144,7 +145,7 @@ DeviceRunResult GpuDevice::run_3hit(const BitMatrix& tumor, const BitMatrix& nor
                                     const Partition& partition, const MemOpts& opts) const {
   return run_pipeline(partition, [&](std::uint64_t begin, std::uint64_t end,
                                      KernelStats* stats) {
-    return evaluate_range_3hit(tumor, normal, ctx, scheme, begin, end, opts, stats);
+    return evaluate_range_3hit(tumor, normal, ctx, scheme, begin, end, opts, stats, &arena_);
   });
 }
 
@@ -153,7 +154,7 @@ DeviceRunResult GpuDevice::run_2hit(const BitMatrix& tumor, const BitMatrix& nor
                                     const Partition& partition, const MemOpts& opts) const {
   return run_pipeline(partition, [&](std::uint64_t begin, std::uint64_t end,
                                      KernelStats* stats) {
-    return evaluate_range_2hit(tumor, normal, ctx, scheme, begin, end, opts, stats);
+    return evaluate_range_2hit(tumor, normal, ctx, scheme, begin, end, opts, stats, &arena_);
   });
 }
 
@@ -162,7 +163,7 @@ DeviceRunResult GpuDevice::run_5hit(const BitMatrix& tumor, const BitMatrix& nor
                                     const Partition& partition, const MemOpts& opts) const {
   return run_pipeline(partition, [&](std::uint64_t begin, std::uint64_t end,
                                      KernelStats* stats) {
-    return evaluate_range_5hit(tumor, normal, ctx, scheme, begin, end, opts, stats);
+    return evaluate_range_5hit(tumor, normal, ctx, scheme, begin, end, opts, stats, &arena_);
   });
 }
 

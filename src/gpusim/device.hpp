@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "bitmat/bitmatrix.hpp"
+#include "core/arena.hpp"
 #include "core/schemes.hpp"
 #include "gpusim/perfmodel.hpp"
 #include "obs/profile.hpp"
@@ -78,6 +79,11 @@ class GpuDevice {
 
   DeviceSpec spec_;
   obs::Recorder* recorder_ = nullptr;
+  /// Launch-scoped kernel scratch: reset per simulated block dispatch, so a
+  /// functional run performs one allocation per device instead of one per
+  /// 512-thread block. Launches on one device are serialized (as on the real
+  /// card), which is what makes the mutable member safe.
+  mutable Arena arena_;
 };
 
 /// The multi-stage pairwise reduction of kernel 2, exposed for testing:
