@@ -312,18 +312,8 @@ int main(int argc, char** argv) {
     std::cout << "\nPart 1b — host-threaded sweep (real silicon): " << host_threads
               << " thread(s), chunk " << host_chunk << ", bitops backend "
               << backend_name(active_backend()) << ".\n";
-    HostSweepTelemetry telemetry;
-    HostSweepTelemetry total{};
-    const Evaluator sweep_eval = [&](const BitMatrix& tumor, const BitMatrix& normal,
-                                     const FContext& ctx) {
-      const EvalResult best = host_sweep_find_best(tumor, normal, ctx, sweep, &telemetry);
-      total.threads = telemetry.threads;
-      total.chunks += telemetry.chunks;
-      total.candidates += telemetry.candidates;
-      total.arena_blocks += telemetry.arena_blocks;
-      total.stats += telemetry.stats;
-      return best;
-    };
+    HostSweepTelemetry total;
+    const Evaluator sweep_eval = make_host_sweep_evaluator(sweep, &total);
     const auto t0 = std::chrono::steady_clock::now();
     const GreedyResult swept = run_greedy(data.tumor, data.normal, serial_config, sweep_eval);
     const double seconds =

@@ -1,0 +1,218 @@
+// multihit-serve: replay a seeded multi-tenant request trace through the
+// deterministic job service (src/serve).
+//
+//   $ ./examples/multihit-serve [--mix open|closed|bursty|diurnal]
+//                               [--jobs N] [--seed S] [--gpus G]
+//                               [--concurrent N] [--queue-cap N] [--quota N]
+//                               [--invalidate-rate F] [--no-cache]
+//                               [--no-verify] [--out FILE]
+//                               [--trace-out FILE] [--metrics-out FILE]
+//                               [--bench]
+//
+// The trace generator (src/serve/trace.cpp) produces a fully seeded request
+// sequence — tenants, priorities, cancer types, arrival times — in one of
+// four arrival mixes: open (Poisson), closed (a fixed client population with
+// think times), bursty (thundering herds at period marks), diurnal
+// (sinusoid-modulated rate). The JobService replays it on the simulated
+// clock: admission control against a bounded queue and per-tenant quotas,
+// priority scheduling with iteration-boundary preemption, the fleet split
+// across concurrent jobs by the two-level equi-area scheduler, and
+// per-cancer-type matrix/result caching with explicit invalidation.
+//
+// Everything is deterministic. Two runs with the same flags produce
+// byte-identical --out/--trace-out/--metrics-out files, on ANY bitops
+// backend (MULTIHIT_BITOPS=scalar|avx2|auto) — scripts/ci.sh pins this with
+// cmp. Unless --no-verify, the driver also re-runs every completed job
+// standalone (same dataset, same hit count, one job on the whole pipeline)
+// and exits 1 if any served selections differ — multi-tenant time-sharing
+// must never change an answer.
+//
+// --out writes the multihit.serve.v1 report (trace echo, per-job records
+// with selections, aggregate + per-tenant latency stats); --bench writes
+// BENCH_serve_latency.json (p50/p99 job latency, jobs/sec, makespan) for
+// the scripts/bench_compare.py regression gate.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "data/registry.hpp"
+#include "obs/bench.hpp"
+#include "obs/recorder.hpp"
+#include "serve/cache.hpp"
+#include "serve/job.hpp"
+#include "serve/service.hpp"
+
+namespace {
+
+using namespace multihit;
+using namespace multihit::serve;
+
+int usage() {
+  std::cerr << "usage: multihit-serve [--mix open|closed|bursty|diurnal]\n"
+               "                      [--jobs N] [--seed S] [--gpus G]\n"
+               "                      [--concurrent N] [--queue-cap N] [--quota N]\n"
+               "                      [--invalidate-rate F] [--no-cache] [--no-verify]\n"
+               "                      [--out FILE] [--trace-out FILE]\n"
+               "                      [--metrics-out FILE] [--bench]\n";
+  return 2;
+}
+
+/// Re-runs one (cancer, hits) job standalone — the whole pipeline to
+/// itself — and returns its selections. Memoized: the service's determinism
+/// means every job on the same pair must produce the same answer anyway.
+const std::vector<std::vector<std::uint32_t>>& standalone_selections(
+    std::map<std::pair<std::string, std::uint32_t>, std::vector<std::vector<std::uint32_t>>>&
+        memo,
+    const std::string& cancer, std::uint32_t hits) {
+  const auto key = std::make_pair(cancer, hits);
+  const auto it = memo.find(key);
+  if (it != memo.end()) return it->second;
+  const auto type = find_cancer_type(cancer);
+  const Dataset data = generate_dataset(CancerCache::serve_spec(*type));
+  EngineConfig config;
+  config.hits = hits;
+  const GreedyResult result =
+      run_greedy(data.tumor, data.normal, config, make_kernel_evaluator(hits));
+  return memo.emplace(key, result.combinations()).first->second;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  TraceSpec spec;
+  ServiceOptions options;
+  bool verify = true;
+  bool bench = false;
+  std::string out_path;
+  std::string trace_path;
+  std::string metrics_path;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::exit(usage());
+      }
+      return argv[++i];
+    };
+    if (arg == "--mix") {
+      const auto mix = parse_mix(value());
+      if (!mix) return usage();
+      spec.mix = *mix;
+    } else if (arg == "--jobs") {
+      spec.jobs = static_cast<std::uint32_t>(std::strtoul(value(), nullptr, 10));
+    } else if (arg == "--seed") {
+      spec.seed = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--gpus") {
+      options.gpus = static_cast<std::uint32_t>(std::strtoul(value(), nullptr, 10));
+    } else if (arg == "--concurrent") {
+      options.max_concurrent = static_cast<std::uint32_t>(std::strtoul(value(), nullptr, 10));
+    } else if (arg == "--queue-cap") {
+      options.queue_capacity = static_cast<std::uint32_t>(std::strtoul(value(), nullptr, 10));
+    } else if (arg == "--quota") {
+      options.tenant_quota = static_cast<std::uint32_t>(std::strtoul(value(), nullptr, 10));
+    } else if (arg == "--invalidate-rate") {
+      spec.invalidate_rate = std::strtod(value(), nullptr);
+    } else if (arg == "--no-cache") {
+      options.result_cache = false;
+    } else if (arg == "--no-verify") {
+      verify = false;
+    } else if (arg == "--out") {
+      out_path = value();
+    } else if (arg == "--trace-out") {
+      trace_path = value();
+    } else if (arg == "--metrics-out") {
+      metrics_path = value();
+    } else if (arg == "--bench") {
+      bench = true;
+    } else {
+      return usage();
+    }
+  }
+
+  obs::Recorder recorder;
+  if (!trace_path.empty() || !metrics_path.empty()) options.recorder = &recorder;
+
+  const RequestTrace trace = generate_trace(spec);
+  JobService service(options);
+  const ServeResult result = service.replay(trace);
+
+  std::printf("multihit-serve: mix=%s jobs=%u seed=%llu gpus=%u concurrent=%u\n",
+              mix_name(trace.spec.mix), trace.spec.jobs,
+              static_cast<unsigned long long>(trace.spec.seed), options.gpus,
+              options.max_concurrent);
+  std::printf("  requests=%zu rounds=%llu completed=%u rejected=%u cache_hits=%u\n",
+              trace.requests.size(), static_cast<unsigned long long>(result.rounds),
+              result.completed, result.rejected, result.cache_hits);
+  std::printf("  makespan=%.3fs p50=%.3fs p99=%.3fs mean=%.3fs throughput=%.4f jobs/s\n",
+              result.makespan, result.p50_latency, result.p99_latency, result.mean_latency,
+              result.jobs_per_sec);
+  for (const TenantStats& tenant : result.tenants) {
+    std::printf("  tenant %-8s completed=%-3u rejected=%-3u p50=%.3fs p99=%.3fs\n",
+                tenant.tenant.c_str(), tenant.completed, tenant.rejected, tenant.p50_latency,
+                tenant.p99_latency);
+  }
+  std::printf("  cache: builds=%llu dataset_hits=%llu result_hits=%llu misses=%llu "
+              "invalidations=%llu\n",
+              static_cast<unsigned long long>(result.cache.dataset_builds),
+              static_cast<unsigned long long>(result.cache.dataset_hits),
+              static_cast<unsigned long long>(result.cache.result_hits),
+              static_cast<unsigned long long>(result.cache.result_misses),
+              static_cast<unsigned long long>(result.cache.invalidations));
+
+  if (verify) {
+    std::map<std::pair<std::string, std::uint32_t>, std::vector<std::vector<std::uint32_t>>>
+        memo;
+    std::uint32_t checked = 0;
+    for (const JobRecord& job : result.jobs) {
+      if (job.outcome != JobOutcome::kCompleted) continue;
+      if (job.selections != standalone_selections(memo, job.cancer, job.hits)) {
+        std::fprintf(stderr,
+                     "multihit-serve: job %u (%s, %u-hit) selections differ from the "
+                     "standalone run\n",
+                     job.id, job.cancer.c_str(), job.hits);
+        return 1;
+      }
+      ++checked;
+    }
+    std::printf("  verified: %u served results bit-identical to standalone runs\n", checked);
+  }
+
+  if (!out_path.empty()) {
+    std::ofstream out(out_path);
+    if (!out) {
+      std::fprintf(stderr, "multihit-serve: cannot write %s\n", out_path.c_str());
+      return 2;
+    }
+    out << serve_report(result, trace, options).dump() << '\n';
+  }
+  if (!trace_path.empty() && !recorder.write_trace(trace_path)) {
+    std::fprintf(stderr, "multihit-serve: cannot write %s\n", trace_path.c_str());
+    return 2;
+  }
+  if (!metrics_path.empty() && !recorder.write_metrics(metrics_path)) {
+    std::fprintf(stderr, "multihit-serve: cannot write %s\n", metrics_path.c_str());
+    return 2;
+  }
+
+  if (bench) {
+    obs::BenchReporter reporter("serve_latency");
+    reporter.series("p50_latency_s", result.p50_latency, "s");
+    reporter.series("p99_latency_s", result.p99_latency, "s");
+    reporter.series("mean_latency_s", result.mean_latency, "s");
+    reporter.series("jobs_per_sec", result.jobs_per_sec, "jobs/s");
+    reporter.series("makespan_s", result.makespan, "s");
+    reporter.series("rounds", static_cast<double>(result.rounds), "rounds");
+    reporter.write();
+    std::printf("  bench record: %s\n", reporter.path().c_str());
+  }
+  return 0;
+}

@@ -161,4 +161,43 @@ if [ "$(grep -c 'dead_rank: 1 incident' "$obs_dir/health.summary.txt")" -ne 1 ];
 fi
 echo "health monitor byte-identical (in-process and offline), truth score perfect"
 
+# Job-service smoke: replay one seeded multi-tenant trace (24 jobs, bursty
+# arrivals, cache invalidations) twice per bitops backend. The
+# multihit.serve.v1 report, Chrome trace, and metrics snapshot must be
+# byte-identical across runs AND across backends, and the driver itself
+# exits non-zero unless every served job's selections are bit-identical to a
+# standalone single-job run. The latency/throughput BENCH series are fully
+# modeled (simulated clock), so --strict pins them against the committed
+# baseline exactly — a scheduling or admission regression shows up as drift.
+echo "=== job service smoke ==="
+serve_dir="build/serve_smoke"
+mkdir -p "$serve_dir"
+for backend in scalar auto; do
+  for run in 1 2; do
+    MULTIHIT_BITOPS="$backend" MULTIHIT_BENCH_DIR="$bench_dir" \
+      build/examples/multihit-serve --mix bursty --jobs 24 --seed 7 \
+      --invalidate-rate 0.2 --bench \
+      --out "$serve_dir/${backend}_$run.serve.json" \
+      --trace-out "$serve_dir/${backend}_$run.trace.json" \
+      --metrics-out "$serve_dir/${backend}_$run.metrics.json" > /dev/null
+  done
+done
+cmp "$serve_dir/scalar_1.serve.json" "$serve_dir/scalar_2.serve.json"
+cmp "$serve_dir/auto_1.serve.json" "$serve_dir/auto_2.serve.json"
+cmp "$serve_dir/scalar_1.serve.json" "$serve_dir/auto_1.serve.json"
+cmp "$serve_dir/scalar_1.trace.json" "$serve_dir/auto_1.trace.json"
+cmp "$serve_dir/scalar_1.metrics.json" "$serve_dir/auto_1.metrics.json"
+if command -v python3 > /dev/null; then
+  python3 scripts/bench_compare.py --strict "$bench_dir"/BENCH_serve_latency.json
+fi
+echo "job service byte-identical (runs and backends), served answers pinned standalone"
+
+# The registry's lone 2-hit type once crashed cancer_panel (a 4-hit kernel's
+# ranks unranked as 2-hit combinations → wild gene indices); the default
+# panel loop only covers hits >= 4, so drive the BRCA path explicitly.
+echo "=== cancer panel smoke ==="
+build/examples/cancer_panel BRCA > /dev/null
+build/examples/cancer_panel > /dev/null
+echo "cancer panel green (2-hit BRCA path included)"
+
 echo "=== all presets green ==="

@@ -1,102 +1,18 @@
 #include "core/engine.hpp"
 
-#include <cassert>
-#include <stdexcept>
-
-#include "combinat/unrank.hpp"
 #include "core/schemes.hpp"
 #include "core/serial.hpp"
-#include "obs/recorder.hpp"
-#include "util/log.hpp"
 
 namespace multihit {
+
+// run_greedy lives in session.cpp: it is a one-shot Engine session, so the
+// greedy loop has exactly one implementation (see core/session.hpp).
 
 std::vector<std::vector<std::uint32_t>> GreedyResult::combinations() const {
   std::vector<std::vector<std::uint32_t>> combos;
   combos.reserve(iterations.size());
   for (const auto& it : iterations) combos.push_back(it.genes);
   return combos;
-}
-
-GreedyResult run_greedy(BitMatrix tumor, const BitMatrix& normal, const EngineConfig& config,
-                        const Evaluator& evaluator, BitMatrix* final_tumor) {
-  if (tumor.genes() != normal.genes()) {
-    throw std::invalid_argument("tumor/normal gene counts differ");
-  }
-  if (config.hits == 0 || config.hits > tumor.genes()) {
-    throw std::invalid_argument("hits out of range");
-  }
-
-  GreedyResult result;
-  std::uint32_t remaining = tumor.samples();
-  std::vector<std::uint64_t> covered(tumor.words_per_row());
-
-  // Iteration spans read the simulated clock around the evaluator call;
-  // without a wired clock the iteration index keeps spans monotone.
-  const auto now = [&](double fallback) {
-    return config.sim_clock ? config.sim_clock() : fallback;
-  };
-
-  while (remaining > 0) {
-    if (config.max_iterations != 0 && result.iterations.size() >= config.max_iterations) break;
-
-    const double iter_begin = now(static_cast<double>(result.iterations.size()));
-    FContext ctx{config.f_params, remaining, normal.samples()};
-    const EvalResult best = evaluator(tumor, normal, ctx);
-    if (!best.valid || best.tp == 0) {
-      // No combination covers any remaining tumor sample; further iterations
-      // would loop forever picking pure-TN combinations.
-      MH_LOG_DEBUG << "greedy stop: best combination covers no remaining tumor sample ("
-                   << remaining << " uncovered)";
-      break;
-    }
-
-    IterationRecord record;
-    record.genes = unrank_combination(best.combo_rank, config.hits);
-    record.f = best.f;
-    record.tp = best.tp;
-    record.tn = best.tn;
-    record.tumor_remaining_before = remaining;
-
-    covered.assign(tumor.words_per_row(), 0);
-    const std::uint64_t tp_check = tumor.combine_rows(record.genes, covered);
-    assert(tp_check == best.tp);
-    (void)tp_check;
-
-    if (config.bit_splicing) {
-      remaining = tumor.splice_covered(covered);
-      covered.resize(tumor.words_per_row());
-    } else {
-      // Zero out covered columns in place; width (and word work) unchanged.
-      for (std::uint32_t g = 0; g < tumor.genes(); ++g) {
-        auto row = tumor.row(g);
-        for (std::uint32_t w = 0; w < tumor.words_per_row(); ++w) row[w] &= ~covered[w];
-      }
-      remaining -= static_cast<std::uint32_t>(best.tp);
-    }
-
-    record.tumor_remaining_after = remaining;
-    result.iterations.push_back(std::move(record));
-    if (config.recorder) {
-      const IterationRecord& committed = result.iterations.back();
-      const double iter_end = now(static_cast<double>(result.iterations.size()));
-      config.recorder->metrics.counter("engine.iterations").add(1.0);
-      config.recorder->metrics.counter("engine.covered_samples")
-          .add(static_cast<double>(committed.tp));
-      config.recorder->metrics.histogram("engine.iteration_f").observe(committed.f);
-      config.recorder->trace.complete(
-          obs::kEngineLane, "greedy_iteration", "engine", iter_begin, iter_end,
-          {{"iteration", std::to_string(result.iterations.size() - 1)},
-           {"f", std::to_string(committed.f)},
-           {"tp", std::to_string(committed.tp)},
-           {"remaining", std::to_string(remaining)}});
-    }
-    if (config.on_iteration) config.on_iteration(result.iterations.back(), tumor, remaining);
-  }
-
-  result.uncovered_tumor = remaining;
-  if (final_tumor) *final_tumor = std::move(tumor);
-  return result;
 }
 
 Evaluator make_serial_evaluator(std::uint32_t hits) {

@@ -56,9 +56,14 @@ EvalResult evaluate_chunk(const BitMatrix& tumor, const BitMatrix& normal, const
     case 4:
       return evaluate_range_4hit(tumor, normal, ctx, options.scheme4, begin, end,
                                  options.mem_opts, stats, arena);
-    default:
+    case 5:
       return evaluate_range_5hit(tumor, normal, ctx, options.scheme5, begin, end,
                                  options.mem_opts, stats, arena);
+    default:
+      // total_threads() already rejected every hit count outside [2, 5]; a
+      // bare default routing here to the 5-hit kernel once silently scored
+      // the wrong combination space. Keep the guard loud.
+      throw std::logic_error("host sweep: evaluate_chunk reached with hits outside [2, 5]");
   }
 }
 
@@ -74,7 +79,10 @@ EvalResult host_sweep_find_best(const BitMatrix& tumor, const BitMatrix& normal,
 
   std::uint32_t workers = options.threads;
   if (workers == 0) workers = std::max(1u, std::thread::hardware_concurrency());
-  // No point spinning up more workers than there are chunks.
+  const std::uint32_t requested = workers;
+  // No point spinning up more workers than there are chunks. An empty λ
+  // space (0 chunks, e.g. genes < hits at some scheme) still runs one
+  // worker, which drains nothing and leaves the result invalid.
   ChunkQueue queue(0, lambda_end, options.chunk);
   workers = static_cast<std::uint32_t>(
       std::min<std::uint64_t>(workers, std::max<std::uint64_t>(1, queue.chunk_count())));
@@ -121,6 +129,8 @@ EvalResult host_sweep_find_best(const BitMatrix& tumor, const BitMatrix& normal,
 
   if (telemetry != nullptr) {
     telemetry->threads = workers;
+    telemetry->threads_requested = requested;
+    telemetry->chunk_size = options.chunk;
     telemetry->candidates = static_cast<std::uint64_t>(merged.size());
     telemetry->chunks = 0;
     telemetry->arena_blocks = 0;
@@ -134,9 +144,15 @@ EvalResult host_sweep_find_best(const BitMatrix& tumor, const BitMatrix& normal,
   return best;
 }
 
-Evaluator make_host_sweep_evaluator(HostSweepOptions options) {
-  return [options](const BitMatrix& tumor, const BitMatrix& normal, const FContext& ctx) {
-    return host_sweep_find_best(tumor, normal, ctx, options);
+Evaluator make_host_sweep_evaluator(HostSweepOptions options,
+                                    HostSweepTelemetry* telemetry_sink) {
+  return [options, telemetry_sink](const BitMatrix& tumor, const BitMatrix& normal,
+                                   const FContext& ctx) {
+    HostSweepTelemetry sweep;
+    const EvalResult best = host_sweep_find_best(tumor, normal, ctx, options,
+                                                 telemetry_sink ? &sweep : nullptr);
+    if (telemetry_sink) *telemetry_sink += sweep;
+    return best;
   };
 }
 

@@ -40,11 +40,27 @@ struct HostSweepOptions {
 
 /// Wall-clock-free accounting for one sweep (all deterministic).
 struct HostSweepTelemetry {
-  std::uint32_t threads = 0;        ///< workers actually launched
-  std::uint64_t chunks = 0;         ///< chunks distributed
-  std::uint64_t candidates = 0;     ///< valid per-chunk candidates merged
-  std::uint64_t arena_blocks = 0;   ///< heap blocks across all worker arenas
-  KernelStats stats;                ///< summed over workers in index order
+  std::uint32_t threads = 0;            ///< workers actually launched (post-clamp)
+  std::uint32_t threads_requested = 0;  ///< workers asked for, before the chunk-count clamp
+  std::uint64_t chunk_size = 0;         ///< λ indices per queue grab actually used
+  std::uint64_t chunks = 0;             ///< chunks distributed
+  std::uint64_t candidates = 0;         ///< valid per-chunk candidates merged
+  std::uint64_t arena_blocks = 0;       ///< heap blocks across all worker arenas
+  KernelStats stats;                    ///< summed over workers in index order
+
+  /// Accumulates another sweep's accounting (one greedy run = one sweep per
+  /// iteration). Counters sum; the configuration fields (threads, chunk
+  /// size) take the latest sweep's values.
+  HostSweepTelemetry& operator+=(const HostSweepTelemetry& other) noexcept {
+    threads = other.threads;
+    threads_requested = other.threads_requested;
+    chunk_size = other.chunk_size;
+    chunks += other.chunks;
+    candidates += other.candidates;
+    arena_blocks += other.arena_blocks;
+    stats += other.stats;
+    return *this;
+  }
 };
 
 /// One maxF evaluation over the full λ space of the scheme selected by
@@ -55,7 +71,13 @@ EvalResult host_sweep_find_best(const BitMatrix& tumor, const BitMatrix& normal,
                                 HostSweepTelemetry* telemetry = nullptr);
 
 /// Evaluator running the threaded sweep each greedy iteration — drop-in for
-/// make_serial_evaluator/make_kernel_evaluator in run_greedy.
-Evaluator make_host_sweep_evaluator(HostSweepOptions options);
+/// make_serial_evaluator/make_kernel_evaluator in run_greedy. When
+/// `telemetry_sink` is non-null, every evaluation accumulates its sweep
+/// accounting into it (operator+=), so engine runs through this evaluator
+/// report the same kernel stats the serial and cluster paths do; the sink
+/// must outlive the evaluator and is not thread-safe across concurrent
+/// evaluations (the greedy loop is sequential).
+Evaluator make_host_sweep_evaluator(HostSweepOptions options,
+                                    HostSweepTelemetry* telemetry_sink = nullptr);
 
 }  // namespace multihit

@@ -28,6 +28,8 @@ inline constexpr std::string_view kBenchSchema = "multihit.bench.v1";
 inline constexpr std::string_view kHealthSchema = "multihit.health.v1";
 /// Fault-injection ground-truth exports (brca_scaleout --truth-out).
 inline constexpr std::string_view kTruthSchema = "multihit.truth.v1";
+/// Job-service trace-replay reports (multihit_serve --out).
+inline constexpr std::string_view kServeSchema = "multihit.serve.v1";
 
 /// Validates `doc`'s top-level "schema" tag and throws `Error` on mismatch
 /// with a message naming both the expected and the found schema — the found

@@ -1,0 +1,84 @@
+#include "serve/cache.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "data/generator.hpp"
+
+namespace multihit::serve {
+
+SyntheticSpec CancerCache::serve_spec(const CancerType& type) {
+  // The registry's functional downscale targets single-job experiments; a
+  // trace replays dozens of jobs (twice, under two bitops backends) inside
+  // CI, so 4-plus-hit types shrink further. C(44,4) ≈ 1.4e5 combinations
+  // per iteration keeps a whole bursty trace under a second even on the
+  // scalar backend.
+  SyntheticSpec spec = type.functional;
+  if (spec.hits >= 4) {
+    spec.genes = std::min<std::uint32_t>(spec.genes, 44);
+    spec.tumor_samples = std::min<std::uint32_t>(spec.tumor_samples, 56);
+    spec.normal_samples = std::min<std::uint32_t>(spec.normal_samples, 44);
+  } else {
+    spec.genes = std::min<std::uint32_t>(spec.genes, 96);
+    spec.tumor_samples = std::min<std::uint32_t>(spec.tumor_samples, 80);
+    spec.normal_samples = std::min<std::uint32_t>(spec.normal_samples, 64);
+  }
+  spec.num_combinations = std::min<std::uint32_t>(spec.num_combinations, 3);
+  return spec;
+}
+
+CancerCache::Entry& CancerCache::entry(const std::string& code) {
+  const auto it = entries_.find(code);
+  if (it != entries_.end()) return it->second;
+  if (!find_cancer_type(code)) {
+    throw std::invalid_argument("serve cache: unknown cancer type '" + code + "'");
+  }
+  return entries_[code];
+}
+
+const Dataset& CancerCache::dataset(const std::string& code) {
+  Entry& e = entry(code);
+  if (!e.built) {
+    const auto type = find_cancer_type(code);
+    e.dataset = generate_dataset(serve_spec(*type));
+    e.dataset.name = code;
+    e.built = true;
+    ++stats_.dataset_builds;
+  } else {
+    ++stats_.dataset_hits;
+  }
+  return e.dataset;
+}
+
+std::uint64_t CancerCache::generation(const std::string& code) const noexcept {
+  const auto it = entries_.find(code);
+  return it == entries_.end() ? 0 : it->second.generation;
+}
+
+const std::vector<std::vector<std::uint32_t>>* CancerCache::find_result(const std::string& code,
+                                                                        std::uint32_t hits) {
+  Entry& e = entry(code);
+  const auto it = e.results.find(hits);
+  if (it == e.results.end()) {
+    ++stats_.result_misses;
+    return nullptr;
+  }
+  ++stats_.result_hits;
+  return &it->second;
+}
+
+void CancerCache::store_result(const std::string& code, std::uint32_t hits,
+                               std::vector<std::vector<std::uint32_t>> selections) {
+  entry(code).results[hits] = std::move(selections);
+}
+
+void CancerCache::invalidate(const std::string& code) {
+  Entry& e = entry(code);
+  ++e.generation;
+  e.built = false;
+  e.dataset = Dataset{};
+  e.results.clear();
+  ++stats_.invalidations;
+}
+
+}  // namespace multihit::serve

@@ -1,0 +1,83 @@
+#pragma once
+// Per-cancer-type matrix and result caching for the job service.
+//
+// Building a job's input is not free: the gene-sample matrices must be
+// materialized (in production: fetched, parsed, bit-packed) before a single
+// combination can be scored, and two tenants asking for the same cancer type
+// at the same hit count get — by determinism — the same answer. The cache
+// therefore holds two layers per registry code:
+//
+//   matrices:  the serve-scale Dataset, built once per (code, generation);
+//   results:   completed selections keyed by (code, hits), valid only for
+//              the generation they were computed against.
+//
+// Invalidation is explicit (a kInvalidate request, i.e. "new cohort data
+// landed for this type"): it bumps the code's generation, which atomically
+// drops both layers. The synthetic generator is deterministic per spec, so a
+// rebuilt dataset is bit-identical to the dropped one — which is exactly
+// what keeps the service's determinism invariant (every job's selections
+// equal a standalone run) independent of where invalidations land in the
+// trace.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "data/registry.hpp"
+
+namespace multihit::serve {
+
+class CancerCache {
+ public:
+  struct Stats {
+    std::uint64_t dataset_builds = 0;
+    std::uint64_t dataset_hits = 0;
+    std::uint64_t result_hits = 0;
+    std::uint64_t result_misses = 0;
+    std::uint64_t invalidations = 0;
+  };
+
+  /// The serve-scale matrices for a registry code; built on first use and on
+  /// first use after an invalidation. Throws std::invalid_argument for codes
+  /// the registry does not know.
+  const Dataset& dataset(const std::string& code);
+
+  /// Current generation of a code (0 until the first invalidation).
+  std::uint64_t generation(const std::string& code) const noexcept;
+
+  /// Cached selections for (code, hits) at the current generation; nullptr
+  /// on miss. Counts a result hit/miss either way.
+  const std::vector<std::vector<std::uint32_t>>* find_result(const std::string& code,
+                                                             std::uint32_t hits);
+
+  void store_result(const std::string& code, std::uint32_t hits,
+                    std::vector<std::vector<std::uint32_t>> selections);
+
+  /// Drops the code's matrices and every result computed from them.
+  void invalidate(const std::string& code);
+
+  const Stats& stats() const noexcept { return stats_; }
+
+  /// The serve-scale downscale of a registry entry's functional spec: small
+  /// enough that a whole multi-tenant trace replays in CI seconds, planted
+  /// the same way. Deterministic per registry entry.
+  static SyntheticSpec serve_spec(const CancerType& type);
+
+ private:
+  struct Entry {
+    std::uint64_t generation = 0;
+    bool built = false;
+    Dataset dataset;
+    /// hits -> selections, valid for `generation` only (cleared on bump).
+    std::map<std::uint32_t, std::vector<std::vector<std::uint32_t>>> results;
+  };
+
+  Entry& entry(const std::string& code);
+
+  std::map<std::string, Entry> entries_;
+  Stats stats_;
+};
+
+}  // namespace multihit::serve

@@ -1,0 +1,120 @@
+#pragma once
+// Deterministic multi-tenant job service on the simulated clock.
+//
+// The paper partitions ONE job's λ space across G GPUs with the equi-area
+// scheduler. The service generalizes that to N concurrent jobs: on every
+// iteration boundary ("round") it splits the G simulated GPUs across the
+// running jobs proportionally to each job's modeled next-iteration work (the
+// same equal-area principle, one level up), then splits each job's grant
+// over its own λ space with the ordinary equi-area schedule. Every running
+// job advances exactly one greedy iteration per round through its
+// multihit::Engine session — the session API is what makes a job a
+// resumable, preemptible object — and the round's simulated length is the
+// slowest job's iteration (a BSP barrier; re-partitioning happens only at
+// these boundaries, exactly like the paper's fault re-partitions).
+//
+// Admission control: a bounded backlog (queue_capacity), per-tenant quotas
+// on in-flight jobs, and priorities (higher runs first; preemption at
+// iteration boundaries only). Completed selections land in the per-cancer
+// result cache; an identical later request is served from cache in
+// cache_hit_seconds without touching a GPU.
+//
+// Everything is deterministic: arrivals come from the seeded trace, compute
+// times from the workload model, and ties break on (priority desc, arrival
+// asc, id asc) — two replays of one trace produce byte-identical
+// multihit.serve.v1 artifacts, on any bitops backend, and every job's
+// selections are bit-identical to a standalone single-job run (pinned in
+// tests/test_serve.cpp and scripts/ci.sh).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "serve/cache.hpp"
+#include "serve/job.hpp"
+
+namespace multihit::obs {
+struct Recorder;
+}  // namespace multihit::obs
+
+namespace multihit::serve {
+
+struct ServiceOptions {
+  std::uint32_t gpus = 24;           ///< simulated fleet size G
+  std::uint32_t max_concurrent = 8;  ///< jobs per round (also capped by G)
+  /// Bound on admitted-but-unfinished jobs; arrivals beyond it are shed.
+  std::uint32_t queue_capacity = 16;
+  /// Max in-flight (admitted, unfinished) jobs per tenant.
+  std::uint32_t tenant_quota = 6;
+  /// Modeled per-GPU throughput in workload-model work units. Deliberately
+  /// throttled so a serve-scale iteration occupies seconds of *simulated*
+  /// time — the shape a paper-scale job has on the real machine (DESIGN §13).
+  double work_units_per_gpu_second = 2.0e4;
+  /// Per-round fixed cost: N-over-G schedule build + dispatch barrier.
+  double round_overhead = 0.25;
+  /// Per-tree-level candidate reduce/broadcast latency within a job.
+  double reduce_latency = 1.5e-6;
+  /// Modeled time to serve a result-cache hit (lookup + transfer).
+  double cache_hit_seconds = 0.5;
+  bool result_cache = true;
+  /// Optional observability: per-tenant labeled serve.* metrics, per-job
+  /// trace lanes, serve_round spans on the scheduler lane. Null changes
+  /// nothing (the usual bit-identical-off contract).
+  obs::Recorder* recorder = nullptr;
+};
+
+/// The N-over-G split: grants `gpus` across jobs proportionally to `work`
+/// (modeled next-iteration work per running job), at least one GPU each,
+/// remainder by largest fractional share with lowest-index tie-break.
+/// Requires 1 <= work.size() <= gpus; all work values must be >= 0.
+std::vector<std::uint32_t> partition_gpus_across_jobs(const std::vector<double>& work,
+                                                      std::uint32_t gpus);
+
+struct TenantStats {
+  std::string tenant;
+  std::uint32_t completed = 0;
+  std::uint32_t rejected = 0;
+  double p50_latency = 0.0;
+  double p99_latency = 0.0;
+  double mean_latency = 0.0;
+};
+
+struct ServeResult {
+  std::vector<JobRecord> jobs;  ///< every request, in admission order
+  std::uint64_t rounds = 0;
+  std::uint32_t completed = 0;
+  std::uint32_t rejected = 0;
+  std::uint32_t cache_hits = 0;
+  double makespan = 0.0;  ///< last completion time (simulated s)
+  double p50_latency = 0.0;
+  double p99_latency = 0.0;
+  double mean_latency = 0.0;
+  double jobs_per_sec = 0.0;  ///< completed / makespan
+  std::vector<TenantStats> tenants;  ///< sorted by tenant name
+  CancerCache::Stats cache;
+};
+
+class JobService {
+ public:
+  explicit JobService(ServiceOptions options);
+
+  /// Replays one trace to completion. The cache persists across replay()
+  /// calls on the same service (a second replay of an identical trace is
+  /// mostly cache hits — pinned in tests).
+  ServeResult replay(const RequestTrace& trace);
+
+  const ServiceOptions& options() const noexcept { return options_; }
+  CancerCache& cache() noexcept { return cache_; }
+
+ private:
+  ServiceOptions options_;
+  CancerCache cache_;
+};
+
+/// The multihit.serve.v1 artifact: trace echo, service config, per-job
+/// records (selections included), aggregate + per-tenant latency stats.
+obs::JsonValue serve_report(const ServeResult& result, const RequestTrace& trace,
+                            const ServiceOptions& options);
+
+}  // namespace multihit::serve

@@ -196,6 +196,121 @@ TEST(HostSweep, RejectsInvalidConfigurations) {
                std::invalid_argument);
 }
 
+TEST(HostSweep, FiveHitRoutesToTheFiveHitKernel) {
+  // evaluate_chunk's dispatch once reached 5-hit through a bare `default:`;
+  // now case 5 is explicit and the default throws. Pin the 5-hit route
+  // against the serial reference so a future mis-route can't score the
+  // wrong combination space silently.
+  SyntheticSpec spec;
+  spec.genes = 22;
+  spec.tumor_samples = 60;
+  spec.normal_samples = 40;
+  spec.hits = 5;
+  spec.num_combinations = 3;
+  spec.background_rate = 0.05;
+  spec.seed = 86;
+  const Dataset data = generate_dataset(spec);
+  const FContext ctx{FParams{}, spec.tumor_samples, spec.normal_samples};
+  const EvalResult reference = serial_find_best(data.tumor, data.normal, ctx, 5);
+  ASSERT_TRUE(reference.valid);
+
+  HostSweepOptions options;
+  options.hits = 5;
+  options.threads = 2;
+  options.chunk = 61;
+  HostSweepTelemetry telemetry;
+  const EvalResult swept =
+      host_sweep_find_best(data.tumor, data.normal, ctx, options, &telemetry);
+  ASSERT_TRUE(swept.valid);
+  EXPECT_EQ(swept.combo_rank, reference.combo_rank);
+  EXPECT_EQ(swept.f, reference.f);
+  // 4x1 visits each 5-combination exactly once.
+  EXPECT_EQ(telemetry.stats.combinations, binomial(spec.genes, 5));
+}
+
+// --- worker-clamp edge cases ------------------------------------------------
+
+TEST(HostSweep, EmptyLambdaSpaceRunsOneWorkerAndStaysInvalid) {
+  // genes < scheme order: C(2,3) = 0 threads under 3x1 — zero chunks. The
+  // clamp must still run exactly one worker (which drains nothing) instead
+  // of underflowing, and the result must stay invalid.
+  BitMatrix tumor(2, 8);
+  BitMatrix normal(2, 8);
+  tumor.set(0, 0);
+  const FContext ctx{FParams{}, 8, 8};
+  HostSweepOptions options;
+  options.hits = 4;
+  options.threads = 6;
+  HostSweepTelemetry telemetry;
+  const EvalResult best = host_sweep_find_best(tumor, normal, ctx, options, &telemetry);
+  EXPECT_FALSE(best.valid);
+  EXPECT_EQ(telemetry.chunks, 0u);
+  EXPECT_EQ(telemetry.candidates, 0u);
+  EXPECT_EQ(telemetry.threads, 1u);
+  EXPECT_EQ(telemetry.threads_requested, 6u);
+}
+
+TEST(HostSweep, MoreWorkersThanChunksClampsAndReportsBothCounts) {
+  const Fixture f = make_fixture(4, 11);
+  HostSweepOptions options;
+  options.hits = 4;
+  options.threads = 8;
+  options.chunk = 1000000;  // swallows the whole λ space: one chunk
+  HostSweepTelemetry telemetry;
+  const EvalResult best =
+      host_sweep_find_best(f.data.tumor, f.data.normal, f.ctx, options, &telemetry);
+  ASSERT_TRUE(best.valid);
+  EXPECT_EQ(telemetry.chunks, 1u);
+  EXPECT_EQ(telemetry.threads, 1u) << "8 workers for 1 chunk is 7 idle threads";
+  EXPECT_EQ(telemetry.threads_requested, 8u);
+  // The telemetry must report the chunk size the queue actually used —
+  // before this field existed, consumers had to guess it from the options.
+  EXPECT_EQ(telemetry.chunk_size, 1000000u);
+}
+
+// --- evaluator telemetry sink ----------------------------------------------
+
+TEST(HostSweep, EvaluatorSinkAccumulatesWholeGreedyRunWithSerialParity) {
+  // make_host_sweep_evaluator used to DROP HostSweepTelemetry on the floor;
+  // the sink now accumulates every per-iteration sweep. Parity pin: the 3x1
+  // scheme visits each 4-combination exactly once per iteration, so the
+  // sink's combination count must equal iterations x C(genes, 4) — the same
+  // space the serial reference scans.
+  SyntheticSpec spec;
+  spec.genes = 30;
+  spec.tumor_samples = 64;
+  spec.normal_samples = 48;
+  spec.hits = 4;
+  spec.num_combinations = 3;
+  spec.background_rate = 0.03;
+  spec.seed = 4242;
+  const Dataset data = generate_dataset(spec);
+
+  EngineConfig config;
+  config.hits = 4;
+  const GreedyResult serial =
+      run_greedy(data.tumor, data.normal, config, make_serial_evaluator(4));
+  ASSERT_FALSE(serial.iterations.empty());
+
+  HostSweepOptions options;
+  options.hits = 4;
+  options.threads = 3;
+  options.chunk = 113;
+  HostSweepTelemetry total;
+  const GreedyResult swept = run_greedy(data.tumor, data.normal, config,
+                                        make_host_sweep_evaluator(options, &total));
+  EXPECT_EQ(swept.combinations(), serial.combinations());
+
+  const std::uint64_t iterations = swept.iterations.size();
+  const std::uint64_t lambdas = scheme4_threads(Scheme4::k3x1, data.genes());
+  const std::uint64_t chunks_per_sweep = (lambdas + options.chunk - 1) / options.chunk;
+  EXPECT_EQ(total.stats.combinations, iterations * binomial(data.genes(), 4));
+  EXPECT_EQ(total.chunks, iterations * chunks_per_sweep);
+  EXPECT_GE(total.candidates, iterations);  // at least one valid candidate each
+  EXPECT_EQ(total.chunk_size, options.chunk);
+  EXPECT_EQ(total.threads_requested, 3u);
+}
+
 // --- full greedy determinism ------------------------------------------------
 
 TEST(HostSweep, GreedySelectionsIdenticalAcrossThreadCountsAndToCluster) {
