@@ -7,6 +7,8 @@
 //                               [--invalidate-rate F] [--no-cache]
 //                               [--no-verify] [--out FILE]
 //                               [--trace-out FILE] [--metrics-out FILE]
+//                               [--slo-spec FILE] [--slo-out FILE]
+//                               [--scenario none|overload|starvation|burn|thrash]
 //                               [--bench]
 //
 // The trace generator (src/serve/trace.cpp) produces a fully seeded request
@@ -31,6 +33,15 @@
 // with selections, aggregate + per-tenant latency stats); --bench writes
 // BENCH_serve_latency.json (p50/p99 job latency, jobs/sec, makespan) for
 // the scripts/bench_compare.py regression gate.
+//
+// --slo-spec loads per-tenant SLO objectives (obs::parse_slo grammar); the
+// run is then evaluated against them in-process and --slo-out writes the
+// multihit.slo.v1 report — byte-identical to an offline `obstool slo` replay
+// of the saved --out document. With --bench, a BENCH_serve_slo.json record
+// (per-tenant p99 attainment, worst burn rate) rides along. --scenario
+// plants one serve pathology (see serve::apply_scenario) on top of the other
+// flags, for detector-quality sweeps; violations never change this tool's
+// exit status — the verdict is `obstool slo`'s job.
 
 #include <cstdio>
 #include <cstdlib>
@@ -38,6 +49,7 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <sstream>
 #include <string>
 #include <utility>
 #include <vector>
@@ -61,7 +73,10 @@ int usage() {
                "                      [--concurrent N] [--queue-cap N] [--quota N]\n"
                "                      [--invalidate-rate F] [--no-cache] [--no-verify]\n"
                "                      [--out FILE] [--trace-out FILE]\n"
-               "                      [--metrics-out FILE] [--bench]\n";
+               "                      [--metrics-out FILE] [--slo-spec FILE]\n"
+               "                      [--slo-out FILE]\n"
+               "                      [--scenario none|overload|starvation|burn|thrash]\n"
+               "                      [--bench]\n";
   return 2;
 }
 
@@ -91,9 +106,12 @@ int main(int argc, char** argv) {
   ServiceOptions options;
   bool verify = true;
   bool bench = false;
+  Scenario scenario = Scenario::kNone;
   std::string out_path;
   std::string trace_path;
   std::string metrics_path;
+  std::string slo_path;
+  std::string slo_out;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -131,10 +149,36 @@ int main(int argc, char** argv) {
       trace_path = value();
     } else if (arg == "--metrics-out") {
       metrics_path = value();
+    } else if (arg == "--slo-spec") {
+      slo_path = value();
+    } else if (arg == "--slo-out") {
+      slo_out = value();
+    } else if (arg == "--scenario") {
+      const auto parsed = parse_scenario(value());
+      if (!parsed) return usage();
+      scenario = *parsed;
     } else if (arg == "--bench") {
       bench = true;
     } else {
       return usage();
+    }
+  }
+
+  if (!slo_out.empty() && slo_path.empty()) return usage();
+  apply_scenario(spec, options, scenario);
+  if (!slo_path.empty()) {
+    std::ifstream in(slo_path);
+    if (!in) {
+      std::fprintf(stderr, "multihit-serve: cannot read %s\n", slo_path.c_str());
+      return 1;
+    }
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    try {
+      options.slo = obs::parse_slo(buffer.str());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "multihit-serve: %s\n", e.what());
+      return 1;
     }
   }
 
@@ -201,6 +245,39 @@ int main(int argc, char** argv) {
   if (!metrics_path.empty() && !recorder.write_metrics(metrics_path)) {
     std::fprintf(stderr, "multihit-serve: cannot write %s\n", metrics_path.c_str());
     return 2;
+  }
+
+  obs::SloReport slo;
+  if (!options.slo.empty()) {
+    slo = obs::evaluate_slo(slo_input(result), options.slo);
+    std::printf("  slo: %u objective(s), %u violated, worst burn %.3fx, "
+                "worst p99 attainment %.3f\n",
+                slo.objectives, slo.violated, slo.worst_burn, slo.worst_p99_attainment);
+    if (!slo_out.empty()) {
+      std::ofstream out(slo_out);
+      if (!out) {
+        std::fprintf(stderr, "multihit-serve: cannot write %s\n", slo_out.c_str());
+        return 2;
+      }
+      out << obs::slo_report_json(slo).dump() << '\n';
+    }
+  }
+
+  if (bench && !options.slo.empty()) {
+    obs::BenchReporter reporter("serve_slo");
+    for (const obs::SloTenantReport& tenant : slo.tenants) {
+      for (const obs::SloObjectiveResult& objective : tenant.objectives) {
+        if (objective.objective.kind == obs::SloKind::kLatency &&
+            objective.objective.percentile == 99.0) {
+          reporter.series("p99_attainment_" + tenant.tenant, objective.attainment,
+                          "fraction");
+        }
+      }
+    }
+    reporter.series("worst_burn", slo.worst_burn, "x");
+    reporter.series("violated", static_cast<double>(slo.violated), "objectives");
+    reporter.write();
+    std::printf("  bench record: %s\n", reporter.path().c_str());
   }
 
   if (bench) {

@@ -7,8 +7,11 @@
 //                      [--heatmap-out FILE] [--summary] [--quiet]
 //   $ multihit-obstool monitor run.trace.json [run.metrics.json]
 //                      [--health-out FILE] [--rules FILE] [--sample-every S]
+//                      [--window-samples N] [--slo-spec FILE]
 //                      [--truth FILE] [--truth-window S] [--annotate-out FILE]
 //                      [--summary] [--quiet]
+//   $ multihit-obstool slo SERVE.json --spec FILE
+//                      [--report-out FILE] [--summary] [--quiet]
 //
 // `analyze` loads a --trace-out Chrome trace (and optionally a --metrics-out
 // snapshot), runs the trace analytics engine (critical path, per-phase
@@ -37,7 +40,17 @@
 // brca_scaleout --truth-out) within `--truth-window` seconds, exiting 1
 // unless recall is total and no built-in detector false-fired.
 // `--annotate-out` writes a copy of the trace with one "health.<rule>"
-// instant per incident for the Chrome/Perfetto viewer.
+// instant per incident for the Chrome/Perfetto viewer. `--slo-spec` loads an
+// SLO spec whose budget objectives arm the serve burn detectors (serve-scale
+// windows usually need `--sample-every 0.5 --window-samples 256` or so —
+// the budget window must fit the retained history).
+//
+// `slo` replays a saved multihit.serve.v1 report through the per-tenant SLO
+// evaluator (src/obs/slo.hpp) against a --spec objective file and prints the
+// per-objective verdicts. `--report-out` writes the multihit.slo.v1 document
+// — byte-identical to what `multihit-serve --slo-out` wrote for the same
+// run, the in-process-vs-replay determinism gate in scripts/ci.sh. Any
+// violated objective exits 1.
 //
 // All outputs are deterministic: processing the same files twice produces
 // byte-identical artifacts, which scripts/ci.sh uses as the determinism
@@ -69,8 +82,11 @@ namespace {
                "                        [--heatmap-out FILE] [--summary] [--quiet]\n"
                "       multihit-obstool monitor TRACE.json [METRICS.json]\n"
                "                        [--health-out FILE] [--rules FILE] [--sample-every S]\n"
+               "                        [--window-samples N] [--slo-spec FILE]\n"
                "                        [--truth FILE] [--truth-window S] [--annotate-out FILE]\n"
-               "                        [--summary] [--quiet]\n";
+               "                        [--summary] [--quiet]\n"
+               "       multihit-obstool slo SERVE.json --spec FILE\n"
+               "                        [--report-out FILE] [--summary] [--quiet]\n";
   std::exit(2);
 }
 
@@ -233,7 +249,7 @@ int run_profile(int argc, char** argv) {
 int run_monitor(int argc, char** argv) {
   using namespace multihit::obs;
   std::string trace_path, metrics_path;
-  std::string health_out, rules_path, truth_path, annotate_out;
+  std::string health_out, rules_path, slo_path, truth_path, annotate_out;
   MonitorOptions options;
   double truth_window = 0.25;
   bool summary = false, quiet = false;
@@ -247,8 +263,12 @@ int run_monitor(int argc, char** argv) {
       health_out = next();
     } else if (arg == "--rules") {
       rules_path = next();
+    } else if (arg == "--slo-spec") {
+      slo_path = next();
     } else if (arg == "--sample-every") {
       options.sample_every = std::atof(next());
+    } else if (arg == "--window-samples") {
+      options.window_samples = static_cast<std::uint32_t>(std::atoi(next()));
     } else if (arg == "--truth") {
       truth_path = next();
     } else if (arg == "--truth-window") {
@@ -274,6 +294,7 @@ int run_monitor(int argc, char** argv) {
   try {
     Tracer tracer = tracer_from_chrome(JsonValue::parse(read_file(trace_path)));
     if (!rules_path.empty()) options.rules = parse_rules(read_file(rules_path));
+    if (!slo_path.empty()) options.slo = parse_slo(read_file(slo_path));
 
     const HealthReport report = monitor_trace(tracer, options);
 
@@ -320,6 +341,58 @@ int run_monitor(int argc, char** argv) {
   return 0;
 }
 
+int run_slo(int argc, char** argv) {
+  using namespace multihit::obs;
+  std::string serve_path, spec_path, report_out;
+  bool summary = false, quiet = false;
+  for (int a = 2; a < argc; ++a) {
+    const std::string arg = argv[a];
+    const auto next = [&]() -> const char* {
+      if (a + 1 >= argc) usage();
+      return argv[++a];
+    };
+    if (arg == "--spec") {
+      spec_path = next();
+    } else if (arg == "--report-out") {
+      report_out = next();
+    } else if (arg == "--summary") {
+      summary = true;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      usage();
+    } else if (serve_path.empty()) {
+      serve_path = arg;
+    } else {
+      usage();
+    }
+  }
+  if (serve_path.empty() || spec_path.empty()) usage();
+
+  try {
+    const std::vector<SloObjective> spec = parse_slo(read_file(spec_path));
+    const JsonValue serve_doc = JsonValue::parse(read_file(serve_path));
+    const SloInput input = slo_input_from_serve_json(serve_doc);
+    const SloReport report = evaluate_slo(input, spec);
+
+    if (!report_out.empty() &&
+        !write_file(report_out, slo_report_json(report).dump() + "\n")) {
+      std::cerr << "error: cannot write SLO report to " << report_out << "\n";
+      return 1;
+    }
+    if (!quiet) std::cout << slo_text(report, summary);
+    if (report.violated > 0) {
+      std::cerr << "error: " << report.violated << " of " << report.objectives
+                << " objective(s) violated\n";
+      return 1;
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -328,5 +401,6 @@ int main(int argc, char** argv) {
   if (command == "analyze") return run_analyze(argc, argv);
   if (command == "profile") return run_profile(argc, argv);
   if (command == "monitor") return run_monitor(argc, argv);
+  if (command == "slo") return run_slo(argc, argv);
   usage();
 }

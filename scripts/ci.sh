@@ -177,6 +177,8 @@ for backend in scalar auto; do
     MULTIHIT_BITOPS="$backend" MULTIHIT_BENCH_DIR="$bench_dir" \
       build/examples/multihit-serve --mix bursty --jobs 24 --seed 7 \
       --invalidate-rate 0.2 --bench \
+      --slo-spec examples/serve.slo \
+      --slo-out "$serve_dir/${backend}_$run.slo.json" \
       --out "$serve_dir/${backend}_$run.serve.json" \
       --trace-out "$serve_dir/${backend}_$run.trace.json" \
       --metrics-out "$serve_dir/${backend}_$run.metrics.json" > /dev/null
@@ -187,10 +189,65 @@ cmp "$serve_dir/auto_1.serve.json" "$serve_dir/auto_2.serve.json"
 cmp "$serve_dir/scalar_1.serve.json" "$serve_dir/auto_1.serve.json"
 cmp "$serve_dir/scalar_1.trace.json" "$serve_dir/auto_1.trace.json"
 cmp "$serve_dir/scalar_1.metrics.json" "$serve_dir/auto_1.metrics.json"
+cmp "$serve_dir/scalar_1.slo.json" "$serve_dir/scalar_2.slo.json"
+cmp "$serve_dir/scalar_1.slo.json" "$serve_dir/auto_1.slo.json"
 if command -v python3 > /dev/null; then
   python3 scripts/bench_compare.py --strict "$bench_dir"/BENCH_serve_latency.json
+  python3 scripts/bench_compare.py --strict "$bench_dir"/BENCH_serve_slo.json
 fi
 echo "job service byte-identical (runs and backends), served answers pinned standalone"
+
+# SLO smoke: the multihit.slo.v1 verdict layer over the serve run above.
+#  1. Offline replay identity: `obstool slo` over the saved multihit.serve.v1
+#     report must reproduce the in-process --slo-out document byte for byte,
+#     and the clean trace passes (exit 0).
+#  2. Detector ground truth: every planted --scenario pathology fires its
+#     monitor detector class at the serve cadence, and the clean trace fires
+#     nothing. overload/starvation/burn also fail the offline verdict
+#     (exit 1); thrash burns fleet efficiency without moving user-visible
+#     latency or admission, which is exactly why cache_thrash exists.
+echo "=== serve SLO smoke ==="
+build/examples/multihit-obstool slo "$serve_dir/scalar_1.serve.json" \
+  --spec examples/serve.slo --report-out "$serve_dir/replay.slo.json" > /dev/null
+cmp "$serve_dir/scalar_1.slo.json" "$serve_dir/replay.slo.json"
+build/examples/multihit-obstool monitor "$serve_dir/scalar_1.trace.json" \
+  --sample-every 0.5 --window-samples 256 --slo-spec examples/serve.slo \
+  --summary > "$serve_dir/clean.health.txt"
+if grep -q 'incident(s)' "$serve_dir/clean.health.txt"; then
+  echo "ERROR: clean serve trace fired incidents:" >&2
+  cat "$serve_dir/clean.health.txt" >&2
+  exit 1
+fi
+for scenario in overload starvation burn thrash; do
+  build/examples/multihit-serve --jobs 24 --seed 7 --scenario "$scenario" \
+    --out "$serve_dir/$scenario.serve.json" \
+    --trace-out "$serve_dir/$scenario.trace.json" > /dev/null
+  if build/examples/multihit-obstool slo "$serve_dir/$scenario.serve.json" \
+    --spec examples/serve.slo --quiet > /dev/null 2>&1; then
+    verdict=0
+  else
+    verdict=1
+  fi
+  case "$scenario" in
+    thrash) want_verdict=0 detector=cache_thrash ;;
+    overload) want_verdict=1 detector=queue_saturation ;;
+    starvation) want_verdict=1 detector=tenant_starvation ;;
+    burn) want_verdict=1 detector=slo_slow_burn ;;
+  esac
+  if [ "$verdict" -ne "$want_verdict" ]; then
+    echo "ERROR: $scenario: obstool slo exit $verdict, want $want_verdict" >&2
+    exit 1
+  fi
+  build/examples/multihit-obstool monitor "$serve_dir/$scenario.trace.json" \
+    --sample-every 0.5 --window-samples 256 --slo-spec examples/serve.slo \
+    --summary > "$serve_dir/$scenario.health.txt"
+  if ! grep -q "$detector: .* incident" "$serve_dir/$scenario.health.txt"; then
+    echo "ERROR: $scenario did not fire $detector:" >&2
+    cat "$serve_dir/$scenario.health.txt" >&2
+    exit 1
+  fi
+done
+echo "serve SLO byte-identical offline replay, 4/4 planted pathologies detected, clean trace silent"
 
 # The registry's lone 2-hit type once crashed cancer_panel (a 4-hit kernel's
 # ranks unranked as 2-hit combinations → wild gene indices); the default

@@ -75,6 +75,31 @@ expect analyze_empty_trace 0 analyze "$TMP/empty.trace.json" --quiet
 printf 'rule bad bogus series above 1\n' > "$TMP/bad.rules"
 expect monitor_bad_rules 1 monitor "$TMP/empty.trace.json" --rules "$TMP/bad.rules"
 
+# --- slo subcommand -------------------------------------------------------
+# Usage: needs both the serve report operand and --spec.
+expect slo_missing_operand 2 slo
+expect_usage_on_stderr slo_missing_operand_usage slo
+expect slo_unknown_flag 2 slo serve.json --bogus
+expect slo_flag_missing_value 2 slo serve.json --spec
+
+printf 'slo * latency p99 below 40\nslo * admission above 0.5\n' > "$TMP/ok.slo"
+expect slo_missing_spec 2 slo "$TMP/serve.json"
+
+# Runtime errors: unreadable/malformed/wrong-schema inputs, malformed specs.
+expect slo_nonexistent_input 1 slo "$TMP/no-such-serve.json" --spec "$TMP/ok.slo"
+expect slo_malformed_input 1 slo "$TMP/garbage.json" --spec "$TMP/ok.slo"
+expect slo_wrong_schema 1 slo "$TMP/metrics.json" --spec "$TMP/ok.slo"
+
+printf '{"schema":"multihit.serve.v1","jobs":[{"tenant":"t","arrival":0,"finish":1,"outcome":"completed","cache_hit":false,"latency":1}]}' \
+  > "$TMP/serve.json"
+printf 'slo t latency p99 beneath 40\n' > "$TMP/bad.slo"
+expect slo_bad_spec 1 slo "$TMP/serve.json" --spec "$TMP/bad.slo"
+
+# Verdicts: exit 0 when every objective holds, exit 1 on any violation.
+expect slo_clean 0 slo "$TMP/serve.json" --spec "$TMP/ok.slo" --quiet
+printf 'slo t latency p99 below 0.5\n' > "$TMP/tight.slo"
+expect slo_violation 1 slo "$TMP/serve.json" --spec "$TMP/tight.slo" --quiet
+
 if [ "$fails" -ne 0 ]; then
   echo "$fails CLI contract check(s) failed" >&2
   exit 1

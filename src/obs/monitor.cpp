@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <set>
 #include <sstream>
+#include <tuple>
 
 #include "obs/analyze.hpp"
 
@@ -50,6 +51,32 @@ void validate_options(const MonitorOptions& o) {
   // A drop_window narrower than the cadence degrades gracefully (the rate
   // check spans one full sampling interval), so only positivity is required.
   if (!(o.drop_window > 0.0)) bad("drop_window must be positive");
+  if (!(o.queue_saturation_fraction > 0.0)) bad("queue_saturation_fraction must be positive");
+  if (!(o.starvation_ratio > 1.0)) bad("starvation_ratio must exceed 1");
+  if (!(o.starvation_min_age > 0.0)) bad("starvation_min_age must be positive");
+  // thrash_window wider than the retained history degrades gracefully
+  // (value_at clamps to the oldest snapshot), and the default cluster
+  // cadence retains far less than 60 s — so only positivity is required.
+  if (!(o.thrash_window > 0.0)) bad("thrash_window must be positive");
+  if (o.thrash_rebuilds == 0) bad("thrash_rebuilds must be at least 1");
+  if (!(o.fast_burn_threshold > 0.0)) bad("fast_burn_threshold must be positive");
+  if (!(o.slow_burn_threshold > 0.0)) bad("slow_burn_threshold must be positive");
+  if (o.burn_min_events == 0) bad("burn_min_events must be at least 1");
+  // Burn windows must fit inside the retained ring, or a burn older than the
+  // window would be silently under-counted instead of detected. (SLO specs
+  // are opt-in, so serve-scale windows never constrain cluster monitoring.)
+  const double retained = o.sample_every * static_cast<double>(o.window_samples - 1);
+  for (const SloObjective& s : o.slo) {
+    if (s.kind != SloKind::kBudget) continue;
+    if (!(s.window > 0.0) || !(s.fast_window > 0.0) || s.fast_window >= s.window) {
+      bad("slo budget for '" + s.tenant + "' needs 0 < fast window < window");
+    }
+    if (s.window > retained) {
+      bad("slo budget window of " + json_number(s.window) +
+          " s exceeds the retained history of " + json_number(retained) +
+          " s (window_samples * sample_every); raise --window-samples");
+    }
+  }
   for (const AlertRule& r : o.rules) {
     if (r.name.empty() || r.series.empty()) bad("rule needs a name and a series");
     if ((r.kind == RuleKind::kRate || r.kind == RuleKind::kAbsence) && !(r.window > 0.0)) {
@@ -124,14 +151,43 @@ bool compare(RuleCmp cmp, double value, double against) {
 }
 
 /// The built-in detector names — the incident classes score_incidents knows.
-const char* const kBuiltinRules[] = {"dead_rank",     "straggler", "message_drop",
-                                     "comm_overhead", "gpu_collapse", "job_abort"};
+/// The serve detectors key off serve.* counters, so they are inert on
+/// cluster traces and never dilute the fault-injection scoring.
+const char* const kBuiltinRules[] = {"dead_rank",        "straggler",
+                                     "message_drop",     "comm_overhead",
+                                     "gpu_collapse",     "job_abort",
+                                     "queue_saturation", "tenant_starvation",
+                                     "slo_fast_burn",    "slo_slow_burn",
+                                     "cache_thrash"};
 
 bool is_builtin_rule(const std::string& name) {
   for (const char* b : kBuiltinRules) {
     if (name == b) return true;
   }
   return false;
+}
+
+/// True when every selector label appears verbatim among the series' labels.
+bool labels_match(const SeriesLabels& want, const SeriesLabels& have) {
+  for (const auto& w : want) {
+    bool found = false;
+    for (const auto& h : have) {
+      if (h == w) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) return false;
+  }
+  return true;
+}
+
+/// The "tenant" label value ("" when absent).
+std::string tenant_label(const SeriesLabels& labels) {
+  for (const auto& [k, v] : labels) {
+    if (k == "tenant") return v;
+  }
+  return {};
 }
 
 }  // namespace
@@ -158,7 +214,16 @@ std::vector<AlertRule> parse_rules(std::string_view text) {
     AlertRule rule;
     rule.name = tok[1];
     const std::string& kind = tok[2];
-    rule.series = tok[3];
+    // The SERIES token may carry a label selector ("serve.wait_age{tenant=gold}");
+    // a malformed selector is a parse error naming this line, not a rule that
+    // silently matches nothing.
+    try {
+      auto parts = split_series_labels(tok[3]);
+      rule.series = std::move(parts.first);
+      rule.labels = std::move(parts.second);
+    } catch (const SloError& e) {
+      fail(e.what());
+    }
     const auto parse_cmp = [&](const std::string& word) {
       if (word == "above") return RuleCmp::kAbove;
       if (word == "below") return RuleCmp::kBelow;
@@ -325,17 +390,22 @@ HealthReport monitor_trace(const Tracer& trace, const MonitorOptions& options) {
     return best ? best->name : std::string{};
   };
 
-  std::map<std::pair<std::string, std::uint32_t>, std::size_t> open;
+  // Incident identity is (rule, lane, tenant): per-tenant serve detectors
+  // share the scheduler lane, so the tenant must discriminate or one tenant's
+  // clear would close another tenant's incident.
+  std::map<std::tuple<std::string, std::uint32_t, std::string>, std::size_t> open;
   const auto set_condition = [&](const std::string& rule, const char* kind,
-                                 std::uint32_t lane, bool breached, double value, double t,
+                                 std::uint32_t lane, const std::string& tenant,
+                                 bool breached, double value, double t,
                                  std::int64_t iter_hint) {
-    const auto key = std::make_pair(rule, lane);
+    const auto key = std::make_tuple(rule, lane, tenant);
     const auto it = open.find(key);
     if (breached && it == open.end()) {
       Incident inc;
       inc.rule = rule;
       inc.kind = kind;
       inc.lane = lane;
+      inc.tenant = tenant;
       inc.fired = t;
       inc.cleared = t;
       inc.open = true;
@@ -354,6 +424,26 @@ HealthReport monitor_trace(const Tracer& trace, const MonitorOptions& options) {
   // --- sampler + detector state --------------------------------------------
   std::map<SeriesKey, SeriesState> series;
   std::size_t obs_ptr = 0;
+
+  // Decompose label-suffixed series names once per distinct name. Serve
+  // counters are well-formed by construction; any other name containing '{'
+  // (a user counter, say) is lenient here — treated as an unlabeled base —
+  // because strictness belongs to the rule *parser*, not to telemetry that
+  // merely flows past the detectors.
+  std::map<std::string, std::pair<std::string, SeriesLabels>> split_cache;
+  const auto split_of =
+      [&](const std::string& name) -> const std::pair<std::string, SeriesLabels>& {
+    auto it = split_cache.find(name);
+    if (it == split_cache.end()) {
+      std::pair<std::string, SeriesLabels> parts{name, {}};
+      try {
+        parts = split_series_labels(name);
+      } catch (const SloError&) {
+      }
+      it = split_cache.emplace(name, std::move(parts)).first;
+    }
+    return it->second;
+  };
 
   // straggler: per-lane cross-iteration baseline of fleet-normalized compute
   // ratios. The baseline resets whenever the set of computing lanes changes
@@ -378,7 +468,9 @@ HealthReport monitor_trace(const Tracer& trace, const MonitorOptions& options) {
   std::size_t next_window = 0;
   std::size_t next_restart = 0;
 
-  std::map<std::pair<std::size_t, std::uint32_t>, std::uint32_t> hold_counts;
+  // Keyed by (rule index, matched series key): two labeled variants of one
+  // base series on the same lane must hold their breach runs independently.
+  std::map<std::pair<std::size_t, SeriesKey>, std::uint32_t> hold_counts;
 
   double t = 0.0;
   for (std::uint64_t k = 1; k <= boundaries; ++k) {
@@ -475,7 +567,7 @@ HealthReport monitor_trace(const Tracer& trace, const MonitorOptions& options) {
         for (auto it = series.lower_bound(hb_lo); it != series.end() && it->first < hb_hi;
              ++it) {
           const double gap = fleet_last - it->second.last_at;
-          set_condition("dead_rank", "detector", it->first.second,
+          set_condition("dead_rank", "detector", it->first.second, {},
                         gap > options.heartbeat_timeout, gap, t, -1);
         }
       }
@@ -485,7 +577,7 @@ HealthReport monitor_trace(const Tracer& trace, const MonitorOptions& options) {
       // newest iteration is clean again) clears at the next one.
       for (auto& [lane, flag] : straggler_state) {
         const bool breached = flag.latched || flag.breached;
-        set_condition("straggler", "detector", lane, breached,
+        set_condition("straggler", "detector", lane, {}, breached,
                       flag.latched ? flag.latched_value : flag.value, t,
                       flag.latched ? flag.latched_iteration : flag.iteration);
         flag.latched = false;
@@ -497,15 +589,15 @@ HealthReport monitor_trace(const Tracer& trace, const MonitorOptions& options) {
       for (auto it = series.lower_bound(rt_lo); it != series.end() && it->first < rt_hi;
            ++it) {
         const double delta = it->second.last - it->second.value_at(t - options.drop_window);
-        set_condition("message_drop", "detector", it->first.second, delta > 0.0, delta, t,
-                      -1);
+        set_condition("message_drop", "detector", it->first.second, {}, delta > 0.0, delta,
+                      t, -1);
       }
 
       // comm_overhead: cumulative comm fraction of busy time (Fig. 8).
       const double busy = busy_time.at(t);
       const double comm = comm_time.at(t);
       const double frac = busy > 0.0 ? comm / busy : 0.0;
-      set_condition("comm_overhead", "detector", kEngineLane,
+      set_condition("comm_overhead", "detector", kEngineLane, {},
                     busy > 0.0 && frac > options.comm_overhead_threshold, frac, t, -1);
 
       // gpu_collapse: a computing lane whose DRAM throughput sits far below
@@ -531,7 +623,7 @@ HealthReport monitor_trace(const Tracer& trace, const MonitorOptions& options) {
         const double v = it->second.last;
         const bool breached = computing.size() >= 2 && v > 0.0 && med > 0.0 &&
                               v < options.collapse_fraction * med;
-        set_condition("gpu_collapse", "detector", it->first.second, breached,
+        set_condition("gpu_collapse", "detector", it->first.second, {}, breached,
                       med > 0.0 ? v / med : 0.0, t, -1);
       }
 
@@ -543,63 +635,167 @@ HealthReport monitor_trace(const Tracer& trace, const MonitorOptions& options) {
         ++next_restart;
         ++bounced;
       }
-      set_condition("job_abort", "detector", kEngineLane, bounced > 0,
+      set_condition("job_abort", "detector", kEngineLane, {}, bounced > 0,
                     static_cast<double>(bounced), t, -1);
+
+      // --- serve-layer detectors -------------------------------------------
+      // These key off the serve scheduler's (possibly label-suffixed)
+      // counters; cluster traces never emit serve.* series, so on them every
+      // check below is a no-op.
+
+      // queue_saturation: the admission queue pinned at (a fraction of) its
+      // declared capacity. Needs the serve.queue_capacity counter the
+      // service emits once at t=0.
+      const SeriesKey qd_lo{"serve.queue_depth", 0};
+      for (auto it = series.lower_bound(qd_lo);
+           it != series.end() && it->first.first == "serve.queue_depth"; ++it) {
+        const auto cap_it = series.find({"serve.queue_capacity", it->first.second});
+        const double cap = cap_it != series.end() ? cap_it->second.last : 0.0;
+        const double depth = it->second.last;
+        set_condition("queue_saturation", "detector", it->first.second, {},
+                      cap > 0.0 && depth >= options.queue_saturation_fraction * cap,
+                      cap > 0.0 ? depth / cap : 0.0, t, -1);
+      }
+
+      // tenant_starvation: one tenant's oldest admitted-but-not-scheduled
+      // job has aged far past the *other* tenants' mean wait age. The
+      // fleet-relative baseline is the point — a global backlog ages every
+      // tenant together and stays silent; only asymmetry fires.
+      std::map<std::uint32_t, std::vector<std::pair<std::string, double>>> waits;
+      for (const auto& [key, st] : series) {
+        const auto& parts = split_of(key.first);
+        if (parts.first != "serve.wait_age") continue;
+        waits[key.second].emplace_back(tenant_label(parts.second), st.last);
+      }
+      for (const auto& [lane, entries] : waits) {
+        for (std::size_t i = 0; i < entries.size(); ++i) {
+          double others = 0.0;
+          for (std::size_t j = 0; j < entries.size(); ++j) {
+            if (j != i) others += entries[j].second;
+          }
+          const bool enough = entries.size() >= 2;
+          const double mean_others =
+              enough ? others / static_cast<double>(entries.size() - 1) : 0.0;
+          const double age = entries[i].second;
+          set_condition("tenant_starvation", "detector", lane, entries[i].first,
+                        enough && age >= options.starvation_min_age &&
+                            age > options.starvation_ratio * mean_others,
+                        age, t, -1);
+        }
+      }
+
+      // slo_fast_burn / slo_slow_burn: windowed bad fraction over budget,
+      // the SRE multi-window pattern on the simulated clock. Driven by the
+      // cumulative serve.slo_total / serve.slo_bad counters plus the budget
+      // objectives handed in via options.slo (first matching objective per
+      // tenant). A window needs burn_min_events resolved requests before it
+      // can fire, so one stray rejection is not a burn.
+      if (!options.slo.empty()) {
+        for (auto it = series.begin(); it != series.end(); ++it) {
+          const auto& parts = split_of(it->first.first);
+          if (parts.first != "serve.slo_total") continue;
+          const std::string tenant = tenant_label(parts.second);
+          const SloObjective* budget = nullptr;
+          for (const SloObjective& o : options.slo) {
+            if (o.kind != SloKind::kBudget) continue;
+            if (o.tenant == "*" || o.tenant == tenant) {
+              budget = &o;
+              break;
+            }
+          }
+          if (!budget) continue;
+          const SeriesState& total = it->second;
+          const auto bad_it =
+              series.find({series_with_labels("serve.slo_bad", parts.second),
+                           it->first.second});
+          const SeriesState* bad = bad_it != series.end() ? &bad_it->second : nullptr;
+          const auto burn_over = [&](double window) {
+            const double dtotal = total.last - total.value_at(t - window);
+            if (dtotal < static_cast<double>(options.burn_min_events)) return 0.0;
+            const double dbad = bad ? bad->last - bad->value_at(t - window) : 0.0;
+            return (dbad / dtotal) / budget->target;
+          };
+          const double fast = burn_over(budget->fast_window);
+          const double slow = burn_over(budget->window);
+          set_condition("slo_fast_burn", "detector", it->first.second, tenant,
+                        fast >= options.fast_burn_threshold, fast, t, -1);
+          set_condition("slo_slow_burn", "detector", it->first.second, tenant,
+                        slow >= options.slow_burn_threshold, slow, t, -1);
+        }
+      }
+
+      // cache_thrash: invalidation-driven dataset rebuilds clustering inside
+      // the trailing window — the cache is being churned faster than it can
+      // amortize.
+      const SeriesKey cr_lo{"serve.cache_rebuilds", 0};
+      for (auto it = series.lower_bound(cr_lo);
+           it != series.end() && it->first.first == "serve.cache_rebuilds"; ++it) {
+        const double delta = it->second.last - it->second.value_at(t - options.thrash_window);
+        set_condition("cache_thrash", "detector", it->first.second, {},
+                      delta >= static_cast<double>(options.thrash_rebuilds), delta, t, -1);
+      }
     }
 
-    // User rules, in declaration order.
+    // User rules, in declaration order. A rule matches every series whose
+    // *base* name equals the rule's SERIES and whose labels are a superset of
+    // the rule's selector (an unlabeled rule over "serve.wait_age" spans all
+    // tenant variants). Label-suffixed names do not sort adjacent to their
+    // base, so rules scan the whole series map — it is small.
+    std::vector<std::pair<const SeriesKey*, const SeriesState*>> matched;
     for (std::size_t ri = 0; ri < options.rules.size(); ++ri) {
       const AlertRule& rule = options.rules[ri];
-      const SeriesKey lo{rule.series, 0};
-      const auto in_series = [&](const std::map<SeriesKey, SeriesState>::iterator& it) {
-        return it != series.end() && it->first.first == rule.series;
+      matched.clear();
+      for (const auto& [key, st] : series) {
+        const auto& parts = split_of(key.first);
+        if (parts.first != rule.series) continue;
+        if (!labels_match(rule.labels, parts.second)) continue;
+        matched.emplace_back(&key, &st);
+      }
+      const auto tenant_of = [&](const SeriesKey& key) {
+        return tenant_label(split_of(key.first).second);
       };
       switch (rule.kind) {
         case RuleKind::kThreshold: {
-          for (auto it = series.lower_bound(lo); in_series(it); ++it) {
-            const bool breach = compare(rule.cmp, it->second.last, rule.value);
-            std::uint32_t& run = hold_counts[{ri, it->first.second}];
+          for (const auto& [key, st] : matched) {
+            const bool breach = compare(rule.cmp, st->last, rule.value);
+            std::uint32_t& run = hold_counts[{ri, *key}];
             run = breach ? run + 1 : 0;
-            set_condition(rule.name, kind_name(rule.kind), it->first.second,
-                          run >= rule.hold, it->second.last, t, -1);
+            set_condition(rule.name, kind_name(rule.kind), key->second, tenant_of(*key),
+                          run >= rule.hold, st->last, t, -1);
           }
           break;
         }
         case RuleKind::kRate: {
-          for (auto it = series.lower_bound(lo); in_series(it); ++it) {
-            const double delta = it->second.last - it->second.value_at(t - rule.window);
-            set_condition(rule.name, kind_name(rule.kind), it->first.second,
+          for (const auto& [key, st] : matched) {
+            const double delta = st->last - st->value_at(t - rule.window);
+            set_condition(rule.name, kind_name(rule.kind), key->second, tenant_of(*key),
                           compare(rule.cmp, delta, rule.value), delta, t, -1);
           }
           break;
         }
         case RuleKind::kAbsence: {
           double fleet_last = -1.0;
-          for (auto it = series.lower_bound(lo); in_series(it); ++it) {
-            fleet_last = std::max(fleet_last, it->second.last_at);
+          for (const auto& [key, st] : matched) {
+            fleet_last = std::max(fleet_last, st->last_at);
           }
           if (fleet_last < 0.0) break;
-          for (auto it = series.lower_bound(lo); in_series(it); ++it) {
-            const double gap = fleet_last - it->second.last_at;
-            set_condition(rule.name, kind_name(rule.kind), it->first.second,
+          for (const auto& [key, st] : matched) {
+            const double gap = fleet_last - st->last_at;
+            set_condition(rule.name, kind_name(rule.kind), key->second, tenant_of(*key),
                           gap > rule.window, gap, t, -1);
           }
           break;
         }
         case RuleKind::kImbalance: {
-          std::vector<std::pair<std::uint32_t, double>> lanes;
-          for (auto it = series.lower_bound(lo); in_series(it); ++it) {
-            lanes.emplace_back(it->first.second, it->second.last);
-          }
-          for (const auto& [lane, v] : lanes) {
+          for (const auto& [key, st] : matched) {
             double others = 0.0;
-            for (const auto& [l, ov] : lanes) {
-              if (l != lane) others += ov;
+            for (const auto& [okey, ost] : matched) {
+              if (okey != key) others += ost->last;
             }
-            const bool enough = lanes.size() >= 2;
-            others = enough ? others / static_cast<double>(lanes.size() - 1) : 0.0;
-            const double ratio = others > 0.0 ? v / others : 0.0;
-            set_condition(rule.name, kind_name(rule.kind), lane,
+            const bool enough = matched.size() >= 2;
+            others = enough ? others / static_cast<double>(matched.size() - 1) : 0.0;
+            const double ratio = others > 0.0 ? st->last / others : 0.0;
+            set_condition(rule.name, kind_name(rule.kind), key->second, tenant_of(*key),
                           enough && others > 0.0 && compare(rule.cmp, ratio, rule.value),
                           ratio, t, -1);
           }
@@ -646,6 +842,19 @@ JsonValue health_report(const HealthReport& report) {
   detectors.set("comm_overhead_threshold",
                 JsonValue(report.options.comm_overhead_threshold));
   detectors.set("drop_window", JsonValue(report.options.drop_window));
+  detectors.set("queue_saturation_fraction",
+                JsonValue(report.options.queue_saturation_fraction));
+  detectors.set("starvation_ratio", JsonValue(report.options.starvation_ratio));
+  detectors.set("starvation_min_age", JsonValue(report.options.starvation_min_age));
+  detectors.set("thrash_window", JsonValue(report.options.thrash_window));
+  detectors.set("thrash_rebuilds",
+                JsonValue(static_cast<double>(report.options.thrash_rebuilds)));
+  detectors.set("fast_burn_threshold", JsonValue(report.options.fast_burn_threshold));
+  detectors.set("slow_burn_threshold", JsonValue(report.options.slow_burn_threshold));
+  detectors.set("burn_min_events",
+                JsonValue(static_cast<double>(report.options.burn_min_events)));
+  detectors.set("slo_objectives",
+                JsonValue(static_cast<double>(report.options.slo.size())));
   doc.set("detectors", std::move(detectors));
 
   JsonValue rules = JsonValue::array();
@@ -653,7 +862,7 @@ JsonValue health_report(const HealthReport& report) {
     JsonValue entry = JsonValue::object();
     entry.set("name", JsonValue(r.name));
     entry.set("kind", JsonValue(kind_name(r.kind)));
-    entry.set("series", JsonValue(r.series));
+    entry.set("series", JsonValue(series_with_labels(r.series, r.labels)));
     entry.set("cmp", JsonValue(cmp_name(r.cmp)));
     entry.set("value", JsonValue(r.value));
     entry.set("window", JsonValue(r.window));
@@ -692,6 +901,7 @@ JsonValue health_report(const HealthReport& report) {
     entry.set("rule", JsonValue(inc.rule));
     entry.set("kind", JsonValue(inc.kind));
     entry.set("lane", JsonValue(static_cast<double>(inc.lane)));
+    entry.set("tenant", JsonValue(inc.tenant));
     entry.set("fired", JsonValue(inc.fired));
     entry.set("cleared", JsonValue(inc.cleared));
     entry.set("open", JsonValue(inc.open));
@@ -739,8 +949,17 @@ std::string health_text(const HealthReport& report, bool summary_only) {
   }
   if (summary_only) return out;
   for (const Incident& inc : report.incidents) {
-    const std::string lane = inc.lane == kEngineLane ? std::string("engine")
-                                                     : "rank " + std::to_string(inc.lane);
+    std::string lane;
+    if (inc.lane == kEngineLane) {
+      lane = "engine";
+    } else if (inc.lane == kSchedulerLane) {
+      lane = "scheduler";
+    } else if (inc.lane > kEngineLane) {
+      lane = "serve lane " + std::to_string(inc.lane - kEngineLane);
+    } else {
+      lane = "rank " + std::to_string(inc.lane);
+    }
+    if (!inc.tenant.empty()) lane += " tenant=" + inc.tenant;
     out += "  [" + inc.rule + "] " + lane + " fired t=" + json_number(inc.fired) +
            (inc.open ? " s (still open at t=" : " s (cleared t=") +
            json_number(inc.cleared) + " s), value " + json_number(inc.value);

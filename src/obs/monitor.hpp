@@ -51,6 +51,27 @@
 // any lane (fleet-relative, so a globally idle series never fires);
 // imbalance fires while a lane's value compares true against RATIO times
 // the mean of the other lanes carrying the series.
+//
+// SERIES may carry a label selector: `serve.wait_age{tenant=gold}` matches
+// every sampled series whose base name is `serve.wait_age` AND whose
+// embedded labels (see slo.hpp's series_with_labels) include tenant=gold; a
+// bare base name matches all labeled variants, so imbalance rules compare
+// across tenants. A malformed selector (unclosed brace, empty key/value) is
+// a parse error naming the offending line.
+//
+// PR 8 adds serve-lane detectors over the job service's scheduler-lane
+// telemetry (src/serve/service.cpp): queue_saturation (serve.queue_depth
+// at/above the declared serve.queue_capacity), tenant_starvation (a
+// tenant's admitted-but-not-scheduled age vs the other tenants' mean — the
+// fleet-relative baseline, so a global backlog is overload, not
+// starvation), cache_thrash (invalidation-driven dataset rebuilds within a
+// trailing window), and — when MonitorOptions::slo carries budget
+// objectives — slo_fast_burn / slo_slow_burn (windowed bad-request
+// fraction over budget, the SRE multi-window burn alert). Their incidents
+// land on the scheduler lane with the tenant label filled in. The burn and
+// thrash windows must fit inside the sampler's retained history
+// (window_samples * sample_every); serve traces are monitored at coarse
+// cadences (~0.5-1 s), not the default 5 ms.
 
 #include <cstdint>
 #include <map>
@@ -62,6 +83,7 @@
 
 #include "obs/json.hpp"
 #include "obs/schema.hpp"
+#include "obs/slo.hpp"
 #include "obs/trace.hpp"
 
 namespace multihit::obs {
@@ -80,7 +102,8 @@ enum class RuleCmp { kAbove, kBelow };
 struct AlertRule {
   std::string name;
   RuleKind kind = RuleKind::kThreshold;
-  std::string series;
+  std::string series;      ///< base series name (selector labels split off)
+  SeriesLabels labels;     ///< label selector; empty matches every variant
   RuleCmp cmp = RuleCmp::kAbove;
   double value = 0.0;      ///< threshold / minimum delta / imbalance ratio
   double window = 0.0;     ///< trailing seconds (rate, absence)
@@ -117,6 +140,30 @@ struct MonitorOptions {
   /// message_drop: fires while the retransmit count grew within this
   /// trailing window (seconds).
   double drop_window = 0.05;
+  /// queue_saturation: fires while serve.queue_depth sits at or above this
+  /// fraction of the declared serve.queue_capacity.
+  double queue_saturation_fraction = 1.0;
+  /// tenant_starvation: a tenant's oldest admitted-but-not-scheduled age
+  /// fires when it exceeds this multiple of the other tenants' mean wait
+  /// age AND the absolute floor below (so a brief fair backlog is silent).
+  double starvation_ratio = 4.0;
+  double starvation_min_age = 30.0;
+  /// cache_thrash: fires while at least thrash_rebuilds invalidation-driven
+  /// dataset rebuilds landed within the trailing thrash_window seconds.
+  double thrash_window = 60.0;
+  std::uint32_t thrash_rebuilds = 3;
+  /// slo_fast_burn / slo_slow_burn: windowed bad fraction over budget
+  /// (burn rate) at or above these multiples fires; windows come from the
+  /// budget objectives in `slo`. The defaults are the SRE fast/slow page
+  /// thresholds. A window needs at least burn_min_events resolved requests
+  /// before it can fire (one stray rejection is not a burn).
+  double fast_burn_threshold = 14.4;
+  double slow_burn_threshold = 6.0;
+  std::uint32_t burn_min_events = 4;
+  /// SLO objectives (parse_slo). Budget objectives arm the burn detectors;
+  /// their windows must fit the retained history (window_samples *
+  /// sample_every), validated up front.
+  std::vector<SloObjective> slo;
   /// User rules, evaluated after the built-in detectors each boundary.
   std::vector<AlertRule> rules;
 };
@@ -127,6 +174,7 @@ struct Incident {
   std::string rule;  ///< detector or rule name ("dead_rank", ...)
   std::string kind;  ///< "detector" or the rule kind keyword
   std::uint32_t lane = 0;
+  std::string tenant;  ///< tenant label on serve-lane incidents ("" none)
   double fired = 0.0;
   double cleared = 0.0;
   bool open = false;

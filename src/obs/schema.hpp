@@ -30,6 +30,9 @@ inline constexpr std::string_view kHealthSchema = "multihit.health.v1";
 inline constexpr std::string_view kTruthSchema = "multihit.truth.v1";
 /// Job-service trace-replay reports (multihit_serve --out).
 inline constexpr std::string_view kServeSchema = "multihit.serve.v1";
+/// Per-tenant SLO evaluations (obstool slo --report-out, multihit_serve
+/// --slo-out).
+inline constexpr std::string_view kSloSchema = "multihit.slo.v1";
 
 /// Validates `doc`'s top-level "schema" tag and throws `Error` on mismatch
 /// with a message naming both the expected and the found schema — the found

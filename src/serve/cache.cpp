@@ -44,6 +44,7 @@ const Dataset& CancerCache::dataset(const std::string& code) {
     e.dataset.name = code;
     e.built = true;
     ++stats_.dataset_builds;
+    if (e.generation > 0) ++stats_.dataset_rebuilds;
   } else {
     ++stats_.dataset_hits;
   }

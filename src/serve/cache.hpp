@@ -33,6 +33,9 @@ class CancerCache {
  public:
   struct Stats {
     std::uint64_t dataset_builds = 0;
+    /// The subset of dataset_builds forced by an earlier invalidation (the
+    /// generation had already been bumped) — the cache-thrash signal.
+    std::uint64_t dataset_rebuilds = 0;
     std::uint64_t dataset_hits = 0;
     std::uint64_t result_hits = 0;
     std::uint64_t result_misses = 0;

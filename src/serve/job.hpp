@@ -73,6 +73,16 @@ struct RequestTrace {
   std::vector<Request> requests;
 };
 
+/// Planted serve pathologies for detector scoring: each scenario rewrites a
+/// trace spec + service config so exactly one failure class manifests, and
+/// the matching monitor detector (queue_saturation, tenant_starvation,
+/// slo_*_burn, cache_thrash) must catch it — the serve-side analogue of the
+/// cluster fault injector's labeled ground truth.
+enum class Scenario { kNone, kOverload, kStarvation, kBurn, kThrash };
+
+const char* scenario_name(Scenario scenario) noexcept;
+std::optional<Scenario> parse_scenario(std::string_view name) noexcept;
+
 /// Deterministic: the same spec always yields byte-for-byte the same trace.
 RequestTrace generate_trace(const TraceSpec& spec);
 

@@ -167,6 +167,63 @@ ServeResult JobService::replay(const RequestTrace& trace) {
         active.begin(), active.end(), [&](const ActiveJob& a) { return a.tenant == tenant; }));
   };
 
+  // Whether a completion burns error budget: slower than the tenant's
+  // tightest declared latency target (infinity when no SLO is configured, so
+  // only rejections count).
+  const auto is_bad_completion = [&](const JobRecord& job) {
+    return job.latency() > obs::latency_target(opt.slo, job.tenant);
+  };
+
+  // Cumulative per-tenant SLO counters on the scheduler lane, emitted at
+  // decision time — arrival for cache hits and rejections, round end for
+  // computed completions — so each series is non-decreasing in emission time
+  // and windowed deltas over it are well-defined.
+  std::map<std::string, std::pair<std::uint64_t, std::uint64_t>> slo_counts;
+  const auto slo_event = [&](const std::string& tenant, bool bad, double t) {
+    if (!rec) return;
+    auto& counts = slo_counts[tenant];
+    ++counts.first;
+    if (bad) ++counts.second;
+    const obs::SeriesLabels labels{{"tenant", tenant}};
+    rec->trace.counter(obs::kSchedulerLane, obs::series_with_labels("serve.slo_total", labels),
+                       t, static_cast<double>(counts.first));
+    rec->trace.counter(obs::kSchedulerLane, obs::series_with_labels("serve.slo_bad", labels),
+                       t, static_cast<double>(counts.second));
+  };
+
+  // Boundary telemetry on the scheduler lane, sampled at every service round
+  // boundary including rounds where nothing ran — absence and threshold
+  // rules over these series need them defined through idle gaps. Wait age is
+  // the oldest admitted-but-never-scheduled job per tenant (0 when none):
+  // the starvation detector's fleet-relative input.
+  std::vector<std::string> tenant_names;
+  for (const TenantSpec& tenant : trace.spec.tenants) tenant_names.push_back(tenant.name);
+  std::sort(tenant_names.begin(), tenant_names.end());
+  const auto sample_lanes = [&](double t) {
+    if (!rec) return;
+    rec->trace.counter(obs::kSchedulerLane, "serve.queue_depth", t,
+                       static_cast<double>(active.size()));
+    for (const std::string& tenant : tenant_names) {
+      double age = 0.0;
+      for (const ActiveJob& a : active) {
+        if (a.tenant != tenant || result.jobs[a.record].start >= 0.0) continue;
+        age = std::max(age, t - a.arrival);
+      }
+      rec->trace.counter(obs::kSchedulerLane,
+                         obs::series_with_labels("serve.wait_age", {{"tenant", tenant}}), t,
+                         age);
+    }
+    rec->trace.counter(obs::kSchedulerLane, "serve.cache_rebuilds", t,
+                       static_cast<double>(cache_.stats().dataset_rebuilds));
+  };
+  if (rec) {
+    // Declared once at t=0; the queue_saturation detector reads depth
+    // against it.
+    rec->trace.counter(obs::kSchedulerLane, "serve.queue_capacity", 0.0,
+                       static_cast<double>(opt.queue_capacity));
+  }
+  sample_lanes(0.0);
+
   const auto handle_arrival = [&](std::uint32_t index, double t) {
     const Request& req = trace.requests[index];
     if (req.kind == RequestKind::kInvalidate) {
@@ -204,9 +261,11 @@ ServeResult JobService::replay(const RequestTrace& trace) {
         job.selections = *cached;
         if (rec) {
           rec->metrics.counter("serve.cache_served", {{"tenant", job.tenant}}).add();
-          rec->metrics.histogram("serve.job_latency", {{"tenant", job.tenant}})
+          rec->metrics
+              .histogram("serve.job_latency", {{"source", "cache"}, {"tenant", job.tenant}})
               .observe(job.latency());
         }
+        slo_event(job.tenant, is_bad_completion(job), t);
         release_next(req.client, job.finish);
         result.jobs.push_back(std::move(job));
         return;
@@ -229,6 +288,7 @@ ServeResult JobService::replay(const RequestTrace& trace) {
         rec->trace.instant(obs::kSchedulerLane, "reject", "serve", t,
                            {{"tenant", job.tenant}, {"reason", reject}});
       }
+      slo_event(job.tenant, true, t);
       release_next(req.client, t);
       result.jobs.push_back(std::move(job));
       return;
@@ -250,7 +310,7 @@ ServeResult JobService::replay(const RequestTrace& trace) {
     if (rec) {
       rec->metrics.counter("serve.jobs_admitted", {{"tenant", job.tenant}}).add();
       rec->metrics.gauge("serve.queue_depth").set(static_cast<double>(active.size()));
-      rec->trace.counter(obs::kSchedulerLane, "queue_depth", t,
+      rec->trace.counter(obs::kSchedulerLane, "serve.queue_depth", t,
                          static_cast<double>(active.size()));
       rec->trace.set_lane_name(kJobLaneBase + job.id, "job " + std::to_string(job.id) + " " +
                                                           job.tenant + "/" + job.cancer);
@@ -345,9 +405,12 @@ ServeResult JobService::replay(const RequestTrace& trace) {
       if (opt.result_cache) cache_.store_result(job.cancer, job.hits, job.selections);
       if (rec) {
         rec->metrics.counter("serve.jobs_completed", {{"tenant", job.tenant}}).add();
-        rec->metrics.histogram("serve.job_latency", {{"tenant", job.tenant}})
+        rec->metrics
+            .histogram("serve.job_latency",
+                       {{"source", "computed"}, {"tenant", job.tenant}})
             .observe(job.latency());
       }
+      slo_event(job.tenant, is_bad_completion(job), now);
       release_next(job.client, now);
     }
     active = std::move(still);
@@ -365,6 +428,7 @@ ServeResult JobService::replay(const RequestTrace& trace) {
       handle_arrival(index, t);
     }
     if (!active.empty()) run_round();
+    sample_lanes(now);
   }
 
   // Aggregate. Exact percentiles via the sample-exact obs histogram.
@@ -477,6 +541,7 @@ obs::JsonValue serve_report(const ServeResult& result, const RequestTrace& trace
 
   JsonValue cache = JsonValue::object();
   cache.set("dataset_builds", static_cast<std::uint64_t>(result.cache.dataset_builds));
+  cache.set("dataset_rebuilds", static_cast<std::uint64_t>(result.cache.dataset_rebuilds));
   cache.set("dataset_hits", static_cast<std::uint64_t>(result.cache.dataset_hits));
   cache.set("result_hits", static_cast<std::uint64_t>(result.cache.result_hits));
   cache.set("result_misses", static_cast<std::uint64_t>(result.cache.result_misses));
@@ -512,6 +577,71 @@ obs::JsonValue serve_report(const ServeResult& result, const RequestTrace& trace
   }
   doc.set("jobs", std::move(jobs));
   return doc;
+}
+
+obs::SloInput slo_input(const ServeResult& result) {
+  obs::SloInput input;
+  input.jobs.reserve(result.jobs.size());
+  for (const JobRecord& job : result.jobs) {
+    obs::SloJob row;
+    row.tenant = job.tenant;
+    row.arrival = job.arrival;
+    row.finish = job.finish;
+    row.rejected = job.outcome != JobOutcome::kCompleted;
+    row.cache_hit = job.cache_hit;
+    if (!row.rejected) row.latency = job.latency();
+    input.jobs.push_back(std::move(row));
+  }
+  return input;
+}
+
+void apply_scenario(TraceSpec& spec, ServiceOptions& options, Scenario scenario) {
+  switch (scenario) {
+    case Scenario::kNone:
+      return;
+    case Scenario::kOverload:
+      // Bursts far beyond a shrunken queue: the backlog pins at capacity and
+      // admission sheds load -> queue_saturation.
+      spec.mix = ArrivalMix::kBursty;
+      spec.burst_size = 12;
+      spec.burst_every = 60.0;
+      options.queue_capacity = 6;
+      options.max_concurrent = 4;
+      return;
+    case Scenario::kStarvation:
+      // A closed loop of three zero-think clients over two round slots and a
+      // heavy gold majority (result cache off, so every gold job really
+      // occupies a slot): a completing gold client resubmits at the same
+      // instant, so gold's own queue age stays ~0 while a bronze roll waits
+      // until a second client also rolls bronze -> tenant_starvation on
+      // bronze against a near-zero fleet-relative baseline.
+      spec.mix = ArrivalMix::kClosed;
+      spec.clients = 3;
+      spec.think_time = 0.0;
+      spec.tenants = {{"gold", 2, 6.0}, {"bronze", 0, 1.0}};
+      options.max_concurrent = 2;
+      options.tenant_quota = 16;
+      options.result_cache = false;
+      return;
+    case Scenario::kBurn:
+      // An open-loop flood over a small queue with the result cache off:
+      // rejections dominate and the windowed bad fraction torches the error
+      // budget -> slo_fast_burn / slo_slow_burn (given a budget objective in
+      // the SLO spec).
+      spec.mix = ArrivalMix::kOpen;
+      spec.mean_interarrival = 2.5;
+      options.queue_capacity = 4;
+      options.max_concurrent = 2;
+      options.result_cache = false;
+      return;
+    case Scenario::kThrash:
+      // An invalidation storm concentrated on one cancer type: nearly every
+      // analyze rebuilds its dataset from scratch -> cache_thrash.
+      spec.mix = ArrivalMix::kOpen;
+      spec.invalidate_rate = 2.0;
+      spec.cancers = {"BRCA"};
+      return;
+  }
 }
 
 }  // namespace multihit::serve

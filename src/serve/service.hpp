@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "obs/json.hpp"
+#include "obs/slo.hpp"
 #include "serve/cache.hpp"
 #include "serve/job.hpp"
 
@@ -62,6 +63,12 @@ struct ServiceOptions {
   /// trace lanes, serve_round spans on the scheduler lane. Null changes
   /// nothing (the usual bit-identical-off contract).
   obs::Recorder* recorder = nullptr;
+  /// SLO objectives (obs::parse_slo). The latency targets decide which
+  /// completions count *bad* in the cumulative serve.slo_total / serve.slo_bad
+  /// trace counters that drive the monitor's burn detectors; empty means only
+  /// rejections are bad. Evaluation itself is obs::evaluate_slo — this list
+  /// does not change scheduling.
+  std::vector<obs::SloObjective> slo;
 };
 
 /// The N-over-G split: grants `gpus` across jobs proportionally to `work`
@@ -116,5 +123,17 @@ class JobService {
 /// records (selections included), aggregate + per-tenant latency stats.
 obs::JsonValue serve_report(const ServeResult& result, const RequestTrace& trace,
                             const ServiceOptions& options);
+
+/// The SLO evaluator's view of a finished replay: one row per analyze
+/// request, in admission order. Bit-identical to
+/// obs::slo_input_from_serve_json over this run's serve_report (the
+/// byte-identity contract behind `obstool slo`).
+obs::SloInput slo_input(const ServeResult& result);
+
+/// Rewrites `spec` and `options` so the scenario's failure class manifests
+/// (kNone leaves both untouched). Shared by multihit-serve --scenario and
+/// the detector-quality tests, so the planted ground truth is one
+/// definition.
+void apply_scenario(TraceSpec& spec, ServiceOptions& options, Scenario scenario);
 
 }  // namespace multihit::serve

@@ -53,6 +53,31 @@ std::optional<ArrivalMix> parse_mix(std::string_view name) noexcept {
   return std::nullopt;
 }
 
+const char* scenario_name(Scenario scenario) noexcept {
+  switch (scenario) {
+    case Scenario::kNone:
+      return "none";
+    case Scenario::kOverload:
+      return "overload";
+    case Scenario::kStarvation:
+      return "starvation";
+    case Scenario::kBurn:
+      return "burn";
+    case Scenario::kThrash:
+      return "thrash";
+  }
+  return "?";
+}
+
+std::optional<Scenario> parse_scenario(std::string_view name) noexcept {
+  if (name == "none") return Scenario::kNone;
+  if (name == "overload") return Scenario::kOverload;
+  if (name == "starvation") return Scenario::kStarvation;
+  if (name == "burn") return Scenario::kBurn;
+  if (name == "thrash") return Scenario::kThrash;
+  return std::nullopt;
+}
+
 const char* outcome_name(JobOutcome outcome) noexcept {
   switch (outcome) {
     case JobOutcome::kCompleted:

@@ -112,6 +112,77 @@ TEST(MonitorRules, RejectsMalformedLinesNamingTheLine) {
   EXPECT_THROW(obs::parse_rules("nonsense\n"), MonitorError);
 }
 
+TEST(MonitorRules, SeriesSelectorsParseAndMalformedOnesNameTheLine) {
+  const std::vector<AlertRule> rules = obs::parse_rules(
+      "rule hot threshold serve.wait_age{tenant=bronze} above 30 hold 2\n");
+  ASSERT_EQ(rules.size(), 1u);
+  EXPECT_EQ(rules[0].series, "serve.wait_age");
+  ASSERT_EQ(rules[0].labels.size(), 1u);
+  EXPECT_EQ(rules[0].labels[0],
+            (std::pair<std::string, std::string>{"tenant", "bronze"}));
+
+  try {
+    obs::parse_rules(
+        "rule ok threshold serve.queue_depth above 10\n"
+        "rule bad threshold serve.wait_age{tenant= above 30\n");
+    FAIL() << "expected MonitorError";
+  } catch (const MonitorError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos) << e.what();
+    EXPECT_NE(std::string(e.what()).find("serve.wait_age{tenant="), std::string::npos)
+        << e.what();
+  }
+  EXPECT_THROW(obs::parse_rules("rule x threshold s{} above 1\n"), MonitorError);
+  EXPECT_THROW(obs::parse_rules("rule x threshold s{a=b,} above 1\n"), MonitorError);
+}
+
+TEST(MonitorRules, SelectorRulesMatchLabeledSerieAndCarryTheTenant) {
+  // Two tenants on the scheduler lane: bronze's wait age climbs, gold's
+  // stays flat. A selector rule must fire on bronze only; an unselected rule
+  // over the base name matches both series but only bronze breaches.
+  Tracer trace;
+  const std::uint32_t lane = obs::kSchedulerLane;
+  for (int i = 0; i <= 20; ++i) {
+    const double t = 0.1 * static_cast<double>(i);
+    trace.counter(lane, "serve.wait_age{tenant=bronze}", t, i >= 10 ? 50.0 : 1.0);
+    trace.counter(lane, "serve.wait_age{tenant=gold}", t, 1.0);
+  }
+  MonitorOptions options;
+  options.sample_every = 0.1;
+  options.builtin_detectors = false;
+  options.rules = obs::parse_rules(
+      "rule bronze_age threshold serve.wait_age{tenant=bronze} above 30 hold 2\n"
+      "rule any_age threshold serve.wait_age above 30 hold 2\n"
+      "rule gold_age threshold serve.wait_age{tenant=gold} above 30 hold 2\n");
+  const HealthReport report = obs::monitor_trace(trace, options);
+  int bronze_named = 0;
+  int any_named = 0;
+  for (const Incident& inc : report.incidents) {
+    EXPECT_EQ(inc.tenant, "bronze") << inc.rule;
+    if (inc.rule == "bronze_age") ++bronze_named;
+    if (inc.rule == "any_age") ++any_named;
+    EXPECT_NE(inc.rule, "gold_age") << "gold never breaches";
+  }
+  EXPECT_EQ(bronze_named, 1);
+  EXPECT_EQ(any_named, 1);
+}
+
+TEST(MonitorRules, ThresholdRuleBitesOnServeQueueDepth) {
+  Tracer trace;
+  for (int i = 0; i <= 10; ++i) {
+    trace.counter(obs::kSchedulerLane, "serve.queue_depth", 0.1 * static_cast<double>(i),
+                  i < 5 ? 2.0 : 12.0);
+  }
+  MonitorOptions options;
+  options.sample_every = 0.1;
+  options.builtin_detectors = false;
+  options.rules = obs::parse_rules("rule deep threshold serve.queue_depth above 10 hold 2\n");
+  const HealthReport report = obs::monitor_trace(trace, options);
+  ASSERT_EQ(report.incidents.size(), 1u);
+  EXPECT_EQ(report.incidents[0].rule, "deep");
+  EXPECT_EQ(report.incidents[0].tenant, "");
+  EXPECT_DOUBLE_EQ(report.incidents[0].value, 12.0);
+}
+
 TEST(MonitorOptionsValidation, RejectsIllFormedConfigurations) {
   const Tracer empty;
   const auto with = [&](auto mutate) {
@@ -130,7 +201,7 @@ TEST(MonitorOptionsValidation, RejectsIllFormedConfigurations) {
       obs::monitor_trace(empty, with([](MonitorOptions& o) { o.collapse_fraction = 1.5; })),
       MonitorError);
   EXPECT_THROW(obs::monitor_trace(empty, with([](MonitorOptions& o) {
-                 o.rules.push_back({"r", RuleKind::kRate, "s", RuleCmp::kAbove, 1.0, 0.0, 1});
+                 o.rules.push_back({"r", RuleKind::kRate, "s", {}, RuleCmp::kAbove, 1.0, 0.0, 1});
                })),
                MonitorError);
 }

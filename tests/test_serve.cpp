@@ -13,7 +13,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
+#include <map>
 #include <numeric>
 #include <stdexcept>
 #include <string>
@@ -21,6 +23,8 @@
 
 #include "core/engine.hpp"
 #include "data/registry.hpp"
+#include "obs/recorder.hpp"
+#include "obs/slo.hpp"
 #include "serve/cache.hpp"
 #include "serve/job.hpp"
 
@@ -123,6 +127,7 @@ TEST(CancerCache, InvalidationDropsResultsAndRebuildsIdenticalMatrices) {
   EXPECT_EQ(cache.dataset("BRCA").tumor, tumor_before);
 
   EXPECT_EQ(cache.stats().dataset_builds, 2u);
+  EXPECT_EQ(cache.stats().dataset_rebuilds, 1u) << "only the forced rebuild counts";
   EXPECT_EQ(cache.stats().invalidations, 1u);
   EXPECT_THROW(cache.dataset("NOPE"), std::invalid_argument);
 }
@@ -314,6 +319,110 @@ TEST(JobService, ReportCarriesSchemaAndPerTenantStats) {
   // Percentiles are ordered and makespan bounds every latency.
   EXPECT_LE(result.p50_latency, result.p99_latency);
   EXPECT_LE(result.p99_latency, result.makespan);
+}
+
+// --- serve telemetry ---------------------------------------------------------
+
+TEST(JobService, LatencyHistogramsSplitBySourceAndCacheHitsCostCacheHitSeconds) {
+  TraceSpec spec;
+  spec.jobs = 12;
+  spec.seed = 5;
+  const RequestTrace trace = generate_trace(spec);
+  ServiceOptions options = quick_options();
+  obs::Recorder rec;
+  options.recorder = &rec;
+  JobService service(options);
+  const ServeResult first = service.replay(trace);
+  const ServeResult second = service.replay(trace);  // mostly result-cache hits
+  ASSERT_GT(second.cache_hits, 0u);
+
+  std::uint64_t cache_samples = 0;
+  std::uint64_t computed_samples = 0;
+  for (const TenantSpec& tenant : trace.spec.tenants) {
+    const obs::Histogram& cache = rec.metrics.histogram(
+        "serve.job_latency", {{"source", "cache"}, {"tenant", tenant.name}});
+    // A cache hit costs the modeled lookup+transfer time (to simulated-clock
+    // rounding) — the regression this pins is cache hits billed a compute.
+    for (const double v : cache.samples()) {
+      EXPECT_NEAR(v, options.cache_hit_seconds, 1e-6);
+    }
+    cache_samples += cache.count();
+    computed_samples += rec.metrics
+                            .histogram("serve.job_latency",
+                                       {{"source", "computed"}, {"tenant", tenant.name}})
+                            .count();
+  }
+  EXPECT_EQ(cache_samples, first.cache_hits + second.cache_hits);
+  EXPECT_EQ(computed_samples, (first.completed - first.cache_hits) +
+                                  (second.completed - second.cache_hits));
+}
+
+TEST(JobService, QueueDepthIsSampledAtEveryRoundBoundary) {
+  TraceSpec spec;
+  spec.mix = ArrivalMix::kBursty;
+  spec.jobs = 12;
+  spec.seed = 9;
+  spec.burst_size = 4;
+  spec.burst_every = 120.0;  // long idle gaps between bursts
+  const RequestTrace trace = generate_trace(spec);
+  ServiceOptions options = quick_options();
+  obs::Recorder rec;
+  options.recorder = &rec;
+  JobService service(options);
+  const ServeResult result = service.replay(trace);
+
+  std::vector<const obs::CounterSample*> depth;
+  for (const obs::CounterSample& c : rec.trace.counters()) {
+    if (c.name == "serve.queue_depth") depth.push_back(&c);
+  }
+  // One sample at t=0, one per service round (idle boundaries included), and
+  // one per admission — never fewer than rounds+1.
+  ASSERT_GE(depth.size(), result.rounds + 1);
+  EXPECT_DOUBLE_EQ(depth.front()->at, 0.0);
+  EXPECT_DOUBLE_EQ(depth.back()->value, 0.0) << "the backlog drains by the end";
+  // The idle gaps between bursts still get boundary samples reading zero.
+  const bool idle_zero = std::any_of(depth.begin(), depth.end(), [&](const auto* c) {
+    return c->value == 0.0 && c->at > 0.0 && c->at < result.makespan;
+  });
+  EXPECT_TRUE(idle_zero);
+  for (std::size_t i = 1; i < depth.size(); ++i) {
+    EXPECT_LE(depth[i - 1]->at, depth[i]->at) << "samples arrive in time order";
+  }
+}
+
+TEST(JobService, SloCountersAgreeWithTheEvaluatedReport) {
+  TraceSpec spec;
+  spec.mix = ArrivalMix::kBursty;
+  spec.jobs = 14;
+  spec.seed = 21;
+  spec.burst_size = 7;  // each burst overwhelms the 4-deep queue
+  spec.burst_every = 1000.0;
+  const RequestTrace trace = generate_trace(spec);
+  ServiceOptions options = quick_options();
+  options.queue_capacity = 4;
+  options.max_concurrent = 2;
+  options.slo = obs::parse_slo("slo * latency p99 below 0.001\n");  // everything is bad
+  obs::Recorder rec;
+  options.recorder = &rec;
+  JobService service(options);
+  const ServeResult result = service.replay(trace);
+  const obs::SloReport report = obs::evaluate_slo(slo_input(result), options.slo);
+
+  // Final cumulative serve.slo_total / serve.slo_bad per tenant must equal
+  // the offline evaluator's event and bad counts — the burn detectors read
+  // these counters, so drift here desynchronizes alerts from verdicts.
+  std::map<std::string, double> last;
+  for (const obs::CounterSample& c : rec.trace.counters()) last[c.name] = c.value;
+  for (const obs::SloTenantReport& tenant : report.tenants) {
+    const double total = last[obs::series_with_labels("serve.slo_total",
+                                                      {{"tenant", tenant.tenant}})];
+    const double bad =
+        last[obs::series_with_labels("serve.slo_bad", {{"tenant", tenant.tenant}})];
+    EXPECT_DOUBLE_EQ(total, static_cast<double>(tenant.completed + tenant.rejected))
+        << tenant.tenant;
+    EXPECT_DOUBLE_EQ(bad, static_cast<double>(tenant.bad)) << tenant.tenant;
+  }
+  EXPECT_GT(result.rejected, 0u) << "the tight queue actually shed load";
 }
 
 }  // namespace
