@@ -20,6 +20,7 @@
 //                           because CI runs on AVX2 hosts)
 //   speedup_and4_w15_ge2    AVX2 ≥ 2x scalar on 4-ary AND+popcount, w=15
 //   speedup_and4_w64_ge2    same at w=64
+//   speedup_andnot2_w15_ge2 AVX2 ≥ 2x scalar on ANDNOT+popcount, w=15
 //
 // A checksum accumulator feeds every timed call so the optimizer cannot
 // dead-code the kernels.
@@ -88,6 +89,18 @@ const Op kOps[] = {
        }
        return out.empty() ? std::uint64_t{0} : out[0];
      }},
+    {"andnot2", [](bool avx2, const auto& a, const auto& b, const auto&, const auto&, auto&) {
+       return avx2 ? av::andnot_popcount2(a, b) : sc::andnot_popcount2(a, b);
+     }},
+    {"andnot_rows",
+     [](bool avx2, const auto& a, const auto& b, const auto&, const auto&, auto& out) {
+       if (avx2) {
+         av::andnot_rows(out, a, b);
+       } else {
+         sc::andnot_rows(out, a, b);
+       }
+       return out.empty() ? std::uint64_t{0} : out[0];
+     }},
 };
 
 /// Calls/sec for scalar ([0]) and AVX2 ([1]) at one row length. The two
@@ -133,9 +146,13 @@ bool identity_check(std::size_t words, std::uint64_t seed) {
   bool ok = sc::popcount_row(a) == av::popcount_row(a) &&
             sc::and_popcount2(a, b) == av::and_popcount2(a, b) &&
             sc::and_popcount3(a, b, c) == av::and_popcount3(a, b, c) &&
-            sc::and_popcount4(a, b, c, d) == av::and_popcount4(a, b, c, d);
+            sc::and_popcount4(a, b, c, d) == av::and_popcount4(a, b, c, d) &&
+            sc::andnot_popcount2(a, b) == av::andnot_popcount2(a, b);
   sc::and_rows(out_s, a, b);
   av::and_rows(out_v, a, b);
+  ok = ok && out_s == out_v;
+  sc::andnot_rows(out_s, a, b);
+  av::andnot_rows(out_v, a, b);
   ok = ok && out_s == out_v;
   return ok;
 }
@@ -165,7 +182,7 @@ int main() {
   Table table({"op", "words", "scalar calls/s", "avx2 calls/s", "speedup"});
   table.set_precision(3);
   std::uint64_t checksum = 0;
-  double speedup_and4_w15 = 0.0, speedup_and4_w64 = 0.0;
+  double speedup_and4_w15 = 0.0, speedup_and4_w64 = 0.0, speedup_andnot2_w15 = 0.0;
 
   for (const Op& op : kOps) {
     for (const std::size_t words : kLengths) {
@@ -179,6 +196,7 @@ int main() {
       const double speedup = rates[0] > 0.0 && rates[1] > 0.0 ? rates[1] / rates[0] : 0.0;
       if (std::string(op.name) == "and4" && words == 15) speedup_and4_w15 = speedup;
       if (std::string(op.name) == "and4" && words == 64) speedup_and4_w64 = speedup;
+      if (std::string(op.name) == "andnot2" && words == 15) speedup_andnot2_w15 = speedup;
       table.add_row({std::string(op.name), static_cast<long long>(words), rates[0], rates[1],
                      speedup});
     }
@@ -187,16 +205,21 @@ int main() {
 
   bench.series("speedup_and4_w15_ge2", (!avx2_ok || speedup_and4_w15 >= 2.0) ? 1.0 : 0.0);
   bench.series("speedup_and4_w64_ge2", (!avx2_ok || speedup_and4_w64 >= 2.0) ? 1.0 : 0.0);
+  bench.series("speedup_andnot2_w15_ge2", (!avx2_ok || speedup_andnot2_w15 >= 2.0) ? 1.0 : 0.0);
   bench.metrics().gauge("bitops.speedup_and4_w15").set(speedup_and4_w15);
   bench.metrics().gauge("bitops.speedup_and4_w64").set(speedup_and4_w64);
+  bench.metrics().gauge("bitops.speedup_andnot2_w15").set(speedup_andnot2_w15);
   bench.write();
 
   std::cout << "\nand4 speedup: " << speedup_and4_w15 << "x at w=15 (paper BRCA row), "
-            << speedup_and4_w64 << "x at w=64 "
+            << speedup_and4_w64 << "x at w=64\n"
+            << "andnot2 speedup: " << speedup_andnot2_w15 << "x at w=15 "
             << "(gate: >= 2x when AVX2 is available)\n"
             << "[checksum " << (checksum & 0xff) << "]\n";
 
-  const bool gates = identical && (!avx2_ok || (speedup_and4_w15 >= 2.0 && speedup_and4_w64 >= 2.0));
+  const bool gates = identical && (!avx2_ok || (speedup_and4_w15 >= 2.0 &&
+                                                speedup_and4_w64 >= 2.0 &&
+                                                speedup_andnot2_w15 >= 2.0));
   if (!gates) std::cout << "GATE FAILURE: identity or speedup threshold not met.\n";
   return gates ? 0 : 1;
 }

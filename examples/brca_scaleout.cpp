@@ -71,6 +71,7 @@
 #include "data/registry.hpp"
 #include "fault/injector.hpp"
 #include "obs/analyze.hpp"
+#include "obs/hostprof.hpp"
 #include "obs/monitor.hpp"
 #include "obs/recorder.hpp"
 #include "util/log.hpp"
@@ -82,6 +83,7 @@ namespace {
   std::cerr << "usage: brca_scaleout [nodes] [--crash R@I[:F]] [--straggle R@I:F]\n"
                "                     [--drop R@I:N] [--abort I] [--checkpoint N]\n"
                "                     [--host-threads N] [--host-chunk C]\n"
+               "                     [--host-profile-out FILE]\n"
                "                     [--trace-out FILE] [--metrics-out FILE]\n"
                "                     [--report-out FILE] [--profile-out FILE]\n"
                "                     [--health-out FILE] [--truth-out FILE]\n"
@@ -97,6 +99,7 @@ int main(int argc, char** argv) {
   DistributedOptions options;  // 4-hit, 3x1, EA, both prefetches, splicing
   std::uint32_t host_threads = 0;  // 0 = skip the host-sweep part
   std::uint64_t host_chunk = 1024;
+  std::string host_profile_out;
   std::string trace_out, metrics_out, report_out, profile_out, health_out, truth_out;
 
   for (int a = 1; a < argc; ++a) {
@@ -130,6 +133,8 @@ int main(int argc, char** argv) {
     } else if (arg == "--host-chunk") {
       host_chunk = static_cast<std::uint64_t>(std::atoll(next()));
       if (host_chunk == 0) usage();
+    } else if (arg == "--host-profile-out") {
+      host_profile_out = next();
     } else if (arg == "--trace-out") {
       trace_out = next();
     } else if (arg == "--metrics-out") {
@@ -159,6 +164,10 @@ int main(int argc, char** argv) {
   }
   if (nodes == 0 || nodes > 1024) {
     std::cerr << "nodes must be in [1, 1024]\n";
+    return 1;
+  }
+  if (!host_profile_out.empty() && host_threads == 0) {
+    std::cerr << "--host-profile-out requires --host-threads (it profiles the host sweep)\n";
     return 1;
   }
 
@@ -309,6 +318,8 @@ int main(int argc, char** argv) {
     sweep.hits = 4;
     sweep.threads = host_threads;
     sweep.chunk = host_chunk;
+    obs::HostProfiler host_profiler;
+    if (!host_profile_out.empty()) sweep.profiler = &host_profiler;
     std::cout << "\nPart 1b — host-threaded sweep (real silicon): " << host_threads
               << " thread(s), chunk " << host_chunk << ", bitops backend "
               << backend_name(active_backend()) << ".\n";
@@ -328,6 +339,19 @@ int main(int argc, char** argv) {
               << " combos/sec (" << total.chunks << " chunks, " << total.arena_blocks
               << " arena block(s) across " << total.threads << " worker(s))\n";
     if (!sweep_identical) return 1;
+    if (!host_profile_out.empty()) {
+      const obs::HostProfile& profile = host_profiler.profile();
+      std::ofstream out(host_profile_out);
+      if (out) out << obs::hostprof_report(profile).dump() << '\n';
+      if (!out) {
+        std::cerr << "error: cannot write host profile to " << host_profile_out << "\n";
+        return 1;
+      }
+      std::cout << "  host profile written to " << host_profile_out << " ("
+                << profile.sweeps.size() << " sweep(s), "
+                << profile.total_calls.total()
+                << " bitops call(s); read with multihit-obstool hostprof)\n";
+    }
   }
 
   std::cout << "\nPart 2 — paper-scale strong scaling (analytic model, BRCA G=19411):\n";

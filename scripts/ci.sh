@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # Full local CI: build and run the test suite under every preset in
-# CMakePresets.json — the optimized build and the ASan+UBSan build. Any
-# sanitizer report aborts the run (-fno-sanitize-recover=all turns UBSan
-# findings into hard failures).
+# CMakePresets.json — the optimized build, the ASan+UBSan build, and the
+# TSan build (whose test preset narrows to the concurrency-heavy suites:
+# the host-threaded sweep, chunk queue, arenas, bitops dispatch, and the
+# host profiler). Any sanitizer report aborts the run
+# (-fno-sanitize-recover=all turns UBSan findings into hard failures).
 #
 # Usage: scripts/ci.sh [jobs]   (default: nproc)
 
@@ -11,7 +13,7 @@ cd "$(dirname "$0")/.."
 
 jobs="${1:-$(nproc)}"
 
-for preset in default asan; do
+for preset in default asan tsan; do
   echo "=== [$preset] configure ==="
   cmake --preset "$preset"
   echo "=== [$preset] build ==="
@@ -78,6 +80,40 @@ for backend in scalar auto; do
   MULTIHIT_BITOPS="$backend" build/examples/brca_scaleout 1 --host-threads 2 > /dev/null
 done
 echo "bitops backends byte-identical (scalar vs auto), threaded sweep pinned"
+
+# Host-profiler gate (strict): bench_hostprof runs the Part 1b sweep plain
+# and profiled and exits non-zero unless selections are bit-identical, the
+# report replays byte-identically, and the measured profiler overhead stays
+# under 5%. Its BENCH series are those booleans, so --strict pins them; the
+# raw wall-clock lands in gauges only.
+echo "=== host profiler gate ==="
+MULTIHIT_BENCH_DIR="$bench_dir" build/bench/bench_hostprof > /dev/null
+if command -v python3 > /dev/null; then
+  python3 scripts/bench_compare.py --strict "$bench_dir"/BENCH_hostprof.json
+fi
+# Profiling must be a pure observer: attaching --host-profile-out cannot
+# change a byte of the sweep's selections (the binary itself enforces that
+# against the serial reference), and the multihit.hostprof.v1 document must
+# replay byte-identically offline. Deterministic projections must also agree
+# across repeat runs AND across bitops backends — wall clock is quarantined.
+hostprof_dir="build/hostprof_smoke"
+mkdir -p "$hostprof_dir"
+for backend in scalar auto; do
+  for run in 1 2; do
+    MULTIHIT_BITOPS="$backend" build/examples/brca_scaleout 1 --host-threads 4 \
+      --host-profile-out "$hostprof_dir/${backend}_$run.hostprof.json" > /dev/null
+    build/examples/multihit-obstool hostprof \
+      "$hostprof_dir/${backend}_$run.hostprof.json" \
+      --report-out "$hostprof_dir/${backend}_$run.replay.json" \
+      --deterministic-out "$hostprof_dir/${backend}_$run.det.json" > /dev/null
+    cmp "$hostprof_dir/${backend}_$run.hostprof.json" \
+        "$hostprof_dir/${backend}_$run.replay.json"
+  done
+done
+cmp "$hostprof_dir/scalar_1.det.json" "$hostprof_dir/scalar_2.det.json"
+cmp "$hostprof_dir/auto_1.det.json" "$hostprof_dir/auto_2.det.json"
+cmp "$hostprof_dir/scalar_1.det.json" "$hostprof_dir/auto_1.det.json"
+echo "host profiler overhead gated, replay byte-identical, projections pinned across backends"
 
 # Trace-analysis smoke: a faulty instrumented run, the obstool pipeline on
 # its artifacts, and the determinism gate — analyzing the same trace twice

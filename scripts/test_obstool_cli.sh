@@ -100,6 +100,30 @@ expect slo_clean 0 slo "$TMP/serve.json" --spec "$TMP/ok.slo" --quiet
 printf 'slo t latency p99 below 0.5\n' > "$TMP/tight.slo"
 expect slo_violation 1 slo "$TMP/serve.json" --spec "$TMP/tight.slo" --quiet
 
+# --- hostprof subcommand --------------------------------------------------
+expect hostprof_missing_operand 2 hostprof
+expect_usage_on_stderr hostprof_missing_operand_usage hostprof
+expect hostprof_unknown_flag 2 hostprof hostprof.json --bogus
+expect hostprof_flag_missing_value 2 hostprof hostprof.json --report-out
+expect hostprof_extra_operand 2 hostprof a.json b.json
+
+# Runtime errors: unreadable/malformed inputs and wrong-schema documents.
+expect hostprof_nonexistent_input 1 hostprof "$TMP/no-such-hostprof.json"
+expect hostprof_malformed_input 1 hostprof "$TMP/garbage.json"
+expect hostprof_wrong_schema 1 hostprof "$TMP/metrics.json"
+
+# A minimal (empty-run) document replays cleanly; corrupting a total must
+# trip the reconciliation pass (exit 1), not render a wrong report.
+zero_calls='{"popcount_row":0,"and2":0,"and3":0,"and4":0,"and_rows":0,"and_rows_inplace":0,"andnot2":0,"andnot_rows":0}'
+hostprof_doc() {
+  printf '{"schema":"multihit.hostprof.v1","workload":{"hits":2,"scheme":"scheme2","lambda_end":0,"chunk_size":64,"workers":0,"sweeps":0,"bitops_counted":true},"totals":{"chunks":%s,"claims":0,"empty_polls":0,"candidates":0,"combinations":0,"arena_peak_words_max":0,"bitops_calls":%s},"backend":{"name":"scalar"},"wallclock":{"wall_seconds":0,"eval_seconds":0,"claim_seconds":0,"merge_seconds":0,"tail_idle_seconds":0},"workers":[],"sweeps":[]}' \
+    "$1" "$zero_calls"
+}
+hostprof_doc 0 > "$TMP/empty.hostprof.json"
+expect hostprof_empty_profile 0 hostprof "$TMP/empty.hostprof.json" --quiet
+hostprof_doc 5 > "$TMP/corrupt.hostprof.json"
+expect hostprof_corrupted_totals 1 hostprof "$TMP/corrupt.hostprof.json" --quiet
+
 if [ "$fails" -ne 0 ]; then
   echo "$fails CLI contract check(s) failed" >&2
   exit 1

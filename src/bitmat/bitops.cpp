@@ -83,6 +83,15 @@ std::uint64_t and_popcount4(std::span<const std::uint64_t> a, std::span<const st
   return count;
 }
 
+std::uint64_t andnot_popcount2(std::span<const std::uint64_t> a,
+                               std::span<const std::uint64_t> b) noexcept {
+  std::uint64_t count = 0;
+  for (std::size_t w = 0; w < a.size(); ++w) {
+    count += static_cast<std::uint64_t>(std::popcount(a[w] & ~b[w]));
+  }
+  return count;
+}
+
 void and_rows(std::span<std::uint64_t> dst, std::span<const std::uint64_t> a,
               std::span<const std::uint64_t> b) noexcept {
   for (std::size_t w = 0; w < dst.size(); ++w) dst[w] = a[w] & b[w];
@@ -90,6 +99,11 @@ void and_rows(std::span<std::uint64_t> dst, std::span<const std::uint64_t> a,
 
 void and_rows_inplace(std::span<std::uint64_t> dst, std::span<const std::uint64_t> a) noexcept {
   for (std::size_t w = 0; w < dst.size(); ++w) dst[w] &= a[w];
+}
+
+void andnot_rows(std::span<std::uint64_t> dst, std::span<const std::uint64_t> a,
+                 std::span<const std::uint64_t> b) noexcept {
+  for (std::size_t w = 0; w < dst.size(); ++w) dst[w] = a[w] & ~b[w];
 }
 
 }  // namespace bitops_scalar
@@ -108,24 +122,120 @@ struct Kernels {
                         std::span<const std::uint64_t>) noexcept;
   std::uint64_t (*and4)(std::span<const std::uint64_t>, std::span<const std::uint64_t>,
                         std::span<const std::uint64_t>, std::span<const std::uint64_t>) noexcept;
+  std::uint64_t (*andnot2)(std::span<const std::uint64_t>,
+                           std::span<const std::uint64_t>) noexcept;
   void (*and_rows)(std::span<std::uint64_t>, std::span<const std::uint64_t>,
                    std::span<const std::uint64_t>) noexcept;
   void (*and_rows_inplace)(std::span<std::uint64_t>, std::span<const std::uint64_t>) noexcept;
+  void (*andnot_rows)(std::span<std::uint64_t>, std::span<const std::uint64_t>,
+                      std::span<const std::uint64_t>) noexcept;
 };
 
 constexpr Kernels kScalarKernels{
-    BitopsBackend::kScalar,       bitops_scalar::popcount_row, bitops_scalar::and_popcount2,
-    bitops_scalar::and_popcount3, bitops_scalar::and_popcount4, bitops_scalar::and_rows,
+    BitopsBackend::kScalar,
+    bitops_scalar::popcount_row,
+    bitops_scalar::and_popcount2,
+    bitops_scalar::and_popcount3,
+    bitops_scalar::and_popcount4,
+    bitops_scalar::andnot_popcount2,
+    bitops_scalar::and_rows,
     bitops_scalar::and_rows_inplace,
+    bitops_scalar::andnot_rows,
 };
 
 constexpr Kernels kAvx2Kernels{
-    BitopsBackend::kAvx2,       bitops_avx2::popcount_row, bitops_avx2::and_popcount2,
-    bitops_avx2::and_popcount3, bitops_avx2::and_popcount4, bitops_avx2::and_rows,
+    BitopsBackend::kAvx2,
+    bitops_avx2::popcount_row,
+    bitops_avx2::and_popcount2,
+    bitops_avx2::and_popcount3,
+    bitops_avx2::and_popcount4,
+    bitops_avx2::andnot_popcount2,
+    bitops_avx2::and_rows,
     bitops_avx2::and_rows_inplace,
+    bitops_avx2::andnot_rows,
 };
 
-const Kernels* table_for(BitopsBackend backend) noexcept {
+// -------------------------------------------------------------- call counting
+//
+// The host profiler wants exact per-op dispatched-call counts without taxing
+// unprofiled runs. Rather than an always-on thread_local check in every
+// kernel, counting is a second pair of dispatch tables whose entries bump the
+// calling thread's counters and forward to the plain backend; enabling it is
+// one table-pointer swap, so the cost when off is exactly zero.
+
+thread_local BitopsCallCounts tl_calls;
+
+std::atomic<bool> g_counting{false};
+
+template <const Kernels& kBase>
+std::uint64_t counted_popcount(std::span<const std::uint64_t> a) noexcept {
+  ++tl_calls.popcount_row;
+  return kBase.popcount_row(a);
+}
+template <const Kernels& kBase>
+std::uint64_t counted_and2(std::span<const std::uint64_t> a,
+                           std::span<const std::uint64_t> b) noexcept {
+  ++tl_calls.and2;
+  return kBase.and2(a, b);
+}
+template <const Kernels& kBase>
+std::uint64_t counted_and3(std::span<const std::uint64_t> a, std::span<const std::uint64_t> b,
+                           std::span<const std::uint64_t> c) noexcept {
+  ++tl_calls.and3;
+  return kBase.and3(a, b, c);
+}
+template <const Kernels& kBase>
+std::uint64_t counted_and4(std::span<const std::uint64_t> a, std::span<const std::uint64_t> b,
+                           std::span<const std::uint64_t> c,
+                           std::span<const std::uint64_t> d) noexcept {
+  ++tl_calls.and4;
+  return kBase.and4(a, b, c, d);
+}
+template <const Kernels& kBase>
+std::uint64_t counted_andnot2(std::span<const std::uint64_t> a,
+                              std::span<const std::uint64_t> b) noexcept {
+  ++tl_calls.andnot2;
+  return kBase.andnot2(a, b);
+}
+template <const Kernels& kBase>
+void counted_and_rows(std::span<std::uint64_t> dst, std::span<const std::uint64_t> a,
+                      std::span<const std::uint64_t> b) noexcept {
+  ++tl_calls.and_rows;
+  kBase.and_rows(dst, a, b);
+}
+template <const Kernels& kBase>
+void counted_and_rows_inplace(std::span<std::uint64_t> dst,
+                              std::span<const std::uint64_t> a) noexcept {
+  ++tl_calls.and_rows_inplace;
+  kBase.and_rows_inplace(dst, a);
+}
+template <const Kernels& kBase>
+void counted_andnot_rows(std::span<std::uint64_t> dst, std::span<const std::uint64_t> a,
+                         std::span<const std::uint64_t> b) noexcept {
+  ++tl_calls.andnot_rows;
+  kBase.andnot_rows(dst, a, b);
+}
+
+template <const Kernels& kBase>
+constexpr Kernels counting_table() noexcept {
+  return Kernels{kBase.backend,
+                 counted_popcount<kBase>,
+                 counted_and2<kBase>,
+                 counted_and3<kBase>,
+                 counted_and4<kBase>,
+                 counted_andnot2<kBase>,
+                 counted_and_rows<kBase>,
+                 counted_and_rows_inplace<kBase>,
+                 counted_andnot_rows<kBase>};
+}
+
+constexpr Kernels kScalarCounting = counting_table<kScalarKernels>();
+constexpr Kernels kAvx2Counting = counting_table<kAvx2Kernels>();
+
+const Kernels* table_for(BitopsBackend backend, bool counting) noexcept {
+  if (counting) {
+    return backend == BitopsBackend::kAvx2 ? &kAvx2Counting : &kScalarCounting;
+  }
   return backend == BitopsBackend::kAvx2 ? &kAvx2Kernels : &kScalarKernels;
 }
 
@@ -146,7 +256,7 @@ const Kernels* resolve_initial() noexcept {
                 << " not supported on this CPU; using scalar";
     backend = BitopsBackend::kScalar;
   }
-  return table_for(backend);
+  return table_for(backend, g_counting.load(std::memory_order_acquire));
 }
 
 const Kernels& kernels() noexcept {
@@ -203,9 +313,22 @@ BitopsBackend active_backend() noexcept { return kernels().backend; }
 
 bool set_backend(BitopsBackend backend) noexcept {
   if (!backend_supported(backend)) return false;
-  g_kernels.store(table_for(backend), std::memory_order_release);
+  g_kernels.store(table_for(backend, g_counting.load(std::memory_order_acquire)),
+                  std::memory_order_release);
   return true;
 }
+
+bool set_call_counting(bool enabled) noexcept {
+  const bool previous = g_counting.exchange(enabled, std::memory_order_acq_rel);
+  // kernels() resolves the backend first if this is the very first bitops
+  // call, then the swap installs the matching plain/counting table.
+  g_kernels.store(table_for(kernels().backend, enabled), std::memory_order_release);
+  return previous;
+}
+
+bool call_counting() noexcept { return g_counting.load(std::memory_order_acquire); }
+
+const BitopsCallCounts& thread_bitops_calls() noexcept { return tl_calls; }
 
 std::uint64_t popcount_row(std::span<const std::uint64_t> a) noexcept {
   return kernels().popcount_row(a);
@@ -239,6 +362,18 @@ void and_rows(std::span<std::uint64_t> dst, std::span<const std::uint64_t> a,
 void and_rows_inplace(std::span<std::uint64_t> dst, std::span<const std::uint64_t> a) noexcept {
   MULTIHIT_BITOPS_CHECK("and_rows_inplace", dst.size(), a.size());
   kernels().and_rows_inplace(dst, a);
+}
+
+std::uint64_t andnot_popcount(std::span<const std::uint64_t> a,
+                              std::span<const std::uint64_t> b) noexcept {
+  MULTIHIT_BITOPS_CHECK("andnot_popcount", a.size(), b.size());
+  return kernels().andnot2(a, b);
+}
+
+void andnot_rows(std::span<std::uint64_t> dst, std::span<const std::uint64_t> a,
+                 std::span<const std::uint64_t> b) noexcept {
+  MULTIHIT_BITOPS_CHECK("andnot_rows", dst.size(), a.size(), b.size());
+  kernels().andnot_rows(dst, a, b);
 }
 
 }  // namespace multihit

@@ -87,6 +87,12 @@ std::uint64_t and_popcount(std::span<const std::uint64_t> a, std::span<const std
                            std::span<const std::uint64_t> c,
                            std::span<const std::uint64_t> d) noexcept;
 
+/// popcount(a & ~b): the complement side — samples present in `a` that are
+/// NOT hit in `b` (e.g. tumor samples a candidate set leaves uncovered)
+/// counted directly, without materializing the complement row.
+std::uint64_t andnot_popcount(std::span<const std::uint64_t> a,
+                              std::span<const std::uint64_t> b) noexcept;
+
 /// dst = a & b. The prefetch step of MemOpt1/MemOpt2: a thread with fixed
 /// (i, j) ANDs those rows once into thread-local storage instead of
 /// re-reading both from global memory on every inner iteration.
@@ -95,6 +101,59 @@ void and_rows(std::span<std::uint64_t> dst, std::span<const std::uint64_t> a,
 
 /// dst &= a, in place.
 void and_rows_inplace(std::span<std::uint64_t> dst, std::span<const std::uint64_t> a) noexcept;
+
+/// dst = a & ~b: stages the complement-masked row, the ANDNOT counterpart of
+/// and_rows.
+void andnot_rows(std::span<std::uint64_t> dst, std::span<const std::uint64_t> a,
+                 std::span<const std::uint64_t> b) noexcept;
+
+// ---------------------------------------------------------------------------
+// Dispatched-call counting (host profiler support)
+// ---------------------------------------------------------------------------
+
+/// Per-thread counts of dispatched kernel calls, one counter per public
+/// entry point. Plain monotonic counters: they only advance while call
+/// counting is enabled, and only for calls made by the reading thread.
+struct BitopsCallCounts {
+  std::uint64_t popcount_row = 0;
+  std::uint64_t and2 = 0;
+  std::uint64_t and3 = 0;
+  std::uint64_t and4 = 0;
+  std::uint64_t and_rows = 0;
+  std::uint64_t and_rows_inplace = 0;
+  std::uint64_t andnot2 = 0;
+  std::uint64_t andnot_rows = 0;
+
+  std::uint64_t total() const noexcept {
+    return popcount_row + and2 + and3 + and4 + and_rows + and_rows_inplace + andnot2 +
+           andnot_rows;
+  }
+
+  BitopsCallCounts operator-(const BitopsCallCounts& other) const noexcept {
+    return {popcount_row - other.popcount_row,
+            and2 - other.and2,
+            and3 - other.and3,
+            and4 - other.and4,
+            and_rows - other.and_rows,
+            and_rows_inplace - other.and_rows_inplace,
+            andnot2 - other.andnot2,
+            andnot_rows - other.andnot_rows};
+  }
+};
+
+/// Swaps the dispatch table between the plain kernels and counting wrappers
+/// that bump this thread's BitopsCallCounts before forwarding. When counting
+/// is off (the default) the plain table is installed and the hot path pays
+/// nothing — not even a branch. Returns the previous state. Thread-safe, but
+/// like set_backend callers should settle it before spawning sweep workers.
+bool set_call_counting(bool enabled) noexcept;
+
+/// Whether the counting tables are currently installed.
+bool call_counting() noexcept;
+
+/// The calling thread's dispatched-call counters. Snapshot before and after
+/// a counted region and subtract; counts never reset.
+const BitopsCallCounts& thread_bitops_calls() noexcept;
 
 // ---------------------------------------------------------------------------
 // Direct backend entry points (tests and benches pin these against each
@@ -110,9 +169,13 @@ std::uint64_t and_popcount3(std::span<const std::uint64_t> a, std::span<const st
 std::uint64_t and_popcount4(std::span<const std::uint64_t> a, std::span<const std::uint64_t> b,
                             std::span<const std::uint64_t> c,
                             std::span<const std::uint64_t> d) noexcept;
+std::uint64_t andnot_popcount2(std::span<const std::uint64_t> a,
+                               std::span<const std::uint64_t> b) noexcept;
 void and_rows(std::span<std::uint64_t> dst, std::span<const std::uint64_t> a,
               std::span<const std::uint64_t> b) noexcept;
 void and_rows_inplace(std::span<std::uint64_t> dst, std::span<const std::uint64_t> a) noexcept;
+void andnot_rows(std::span<std::uint64_t> dst, std::span<const std::uint64_t> a,
+                 std::span<const std::uint64_t> b) noexcept;
 }  // namespace bitops_scalar
 
 /// AVX2 entry points exist on every x86-64 build (per-function target
@@ -128,9 +191,13 @@ std::uint64_t and_popcount3(std::span<const std::uint64_t> a, std::span<const st
 std::uint64_t and_popcount4(std::span<const std::uint64_t> a, std::span<const std::uint64_t> b,
                             std::span<const std::uint64_t> c,
                             std::span<const std::uint64_t> d) noexcept;
+std::uint64_t andnot_popcount2(std::span<const std::uint64_t> a,
+                               std::span<const std::uint64_t> b) noexcept;
 void and_rows(std::span<std::uint64_t> dst, std::span<const std::uint64_t> a,
               std::span<const std::uint64_t> b) noexcept;
 void and_rows_inplace(std::span<std::uint64_t> dst, std::span<const std::uint64_t> a) noexcept;
+void andnot_rows(std::span<std::uint64_t> dst, std::span<const std::uint64_t> a,
+                 std::span<const std::uint64_t> b) noexcept;
 }  // namespace bitops_avx2
 
 }  // namespace multihit

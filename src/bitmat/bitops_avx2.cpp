@@ -261,6 +261,40 @@ MULTIHIT_TARGET_AVX2 std::uint64_t and_popcount4(std::span<const std::uint64_t> 
   return hsum(acc);
 }
 
+MULTIHIT_TARGET_AVX2 std::uint64_t andnot_popcount2(std::span<const std::uint64_t> a,
+                                                    std::span<const std::uint64_t> b) noexcept {
+  // _mm256_andnot_si256(x, y) computes ~x & y, so b rides in the first
+  // operand. The masked tail stays bit-identical to scalar: lanes beyond the
+  // row load a as zero, and 0 & ~b is 0 whatever ~b holds there.
+  const std::uint64_t* pa = a.data();
+  const std::uint64_t* pb = b.data();
+  const std::size_t n = a.size();
+  std::size_t w = 0;
+  __m256i acc = _mm256_setzero_si256();
+  if (n >= kWordsPerBlock) {
+    HsState s;
+    hs_init(&s);
+    __m256i v[16];
+    for (; w + kWordsPerBlock <= n; w += kWordsPerBlock) {
+      for (std::size_t x = 0; x < 16; ++x) {
+        const std::size_t o = w + kWordsPerVector * x;
+        v[x] = _mm256_andnot_si256(loadu(pb + o), loadu(pa + o));
+      }
+      hs_block(&s, v);
+    }
+    acc = hs_fold(&s);
+  }
+  for (; w + kWordsPerVector <= n; w += kWordsPerVector) {
+    acc = _mm256_add_epi64(acc, popcount256(_mm256_andnot_si256(loadu(pb + w), loadu(pa + w))));
+  }
+  if (w < n) {
+    const __m256i m = tail_mask(n - w);
+    acc = _mm256_add_epi64(
+        acc, popcount256(_mm256_andnot_si256(maskload(pb + w, m), maskload(pa + w, m))));
+  }
+  return hsum(acc);
+}
+
 MULTIHIT_TARGET_AVX2 void and_rows(std::span<std::uint64_t> dst, std::span<const std::uint64_t> a,
                                    std::span<const std::uint64_t> b) noexcept {
   std::uint64_t* pd = dst.data();
@@ -286,6 +320,20 @@ MULTIHIT_TARGET_AVX2 void and_rows_inplace(std::span<std::uint64_t> dst,
   for (; w < n; ++w) pd[w] &= pa[w];
 }
 
+MULTIHIT_TARGET_AVX2 void andnot_rows(std::span<std::uint64_t> dst,
+                                      std::span<const std::uint64_t> a,
+                                      std::span<const std::uint64_t> b) noexcept {
+  std::uint64_t* pd = dst.data();
+  const std::uint64_t* pa = a.data();
+  const std::uint64_t* pb = b.data();
+  const std::size_t n = dst.size();
+  std::size_t w = 0;
+  for (; w + kWordsPerVector <= n; w += kWordsPerVector) {
+    storeu(pd + w, _mm256_andnot_si256(loadu(pb + w), loadu(pa + w)));
+  }
+  for (; w < n; ++w) pd[w] = pa[w] & ~pb[w];
+}
+
 }  // namespace multihit::bitops_avx2
 
 #else  // non-x86: keep the entry points linkable; dispatch never selects them.
@@ -308,12 +356,20 @@ std::uint64_t and_popcount4(std::span<const std::uint64_t> a, std::span<const st
                             std::span<const std::uint64_t> d) noexcept {
   return bitops_scalar::and_popcount4(a, b, c, d);
 }
+std::uint64_t andnot_popcount2(std::span<const std::uint64_t> a,
+                               std::span<const std::uint64_t> b) noexcept {
+  return bitops_scalar::andnot_popcount2(a, b);
+}
 void and_rows(std::span<std::uint64_t> dst, std::span<const std::uint64_t> a,
               std::span<const std::uint64_t> b) noexcept {
   bitops_scalar::and_rows(dst, a, b);
 }
 void and_rows_inplace(std::span<std::uint64_t> dst, std::span<const std::uint64_t> a) noexcept {
   bitops_scalar::and_rows_inplace(dst, a);
+}
+void andnot_rows(std::span<std::uint64_t> dst, std::span<const std::uint64_t> a,
+                 std::span<const std::uint64_t> b) noexcept {
+  bitops_scalar::andnot_rows(dst, a, b);
 }
 
 }  // namespace multihit::bitops_avx2

@@ -32,6 +32,7 @@ std::span<std::uint64_t> Arena::alloc_words(std::size_t n) {
       std::uint64_t* out = block.words.get() + block.offset;
       block.offset += n;
       used_ += n;
+      if (used_ > peak_) peak_ = used_;
       return {out, n};
     }
     ++cursor_;
@@ -40,6 +41,7 @@ std::span<std::uint64_t> Arena::alloc_words(std::size_t n) {
   cursor_ = blocks_.size() - 1;
   block.offset = n;
   used_ += n;
+  if (used_ > peak_) peak_ = used_;
   return {block.words.get(), n};
 }
 

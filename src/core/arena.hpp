@@ -44,6 +44,11 @@ class Arena {
   /// Words handed out since the last reset().
   std::size_t used_words() const noexcept { return used_; }
 
+  /// High-water mark: the largest used_words() ever reached, across resets.
+  /// The host profiler reports this as the arena footprint a sweep actually
+  /// needed (capacity_words() only says what was provisioned).
+  std::size_t peak_words() const noexcept { return peak_; }
+
   /// Heap blocks ever allocated (a steady-state sweep should see this stop
   /// growing after the first chunk; tests pin that).
   std::uint64_t block_allocations() const noexcept { return block_allocations_; }
@@ -60,6 +65,7 @@ class Arena {
   std::vector<Block> blocks_;
   std::size_t cursor_ = 0;  ///< index of the block currently being bumped
   std::size_t used_ = 0;
+  std::size_t peak_ = 0;  ///< max used_ ever reached (reset() does not clear)
   std::uint64_t block_allocations_ = 0;
 };
 

@@ -1,16 +1,38 @@
 #include "core/hostsweep.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <stdexcept>
 #include <thread>
 #include <vector>
 
+#include "bitmat/bitops.hpp"
 #include "core/arena.hpp"
 #include "core/workqueue.hpp"
+#include "obs/hostprof.hpp"
 
 namespace multihit {
 
 namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_between(Clock::time_point begin, Clock::time_point end) {
+  return std::chrono::duration<double>(end - begin).count();
+}
+
+const char* sweep_scheme_name(const HostSweepOptions& options) {
+  switch (options.hits) {
+    case 2:
+      return scheme_name(options.scheme2);
+    case 3:
+      return scheme_name(options.scheme3);
+    case 5:
+      return scheme_name(options.scheme5);
+    default:
+      return scheme_name(options.scheme4);
+  }
+}
 
 /// One per-chunk winner, tagged with the chunk's begin λ for the
 /// deterministic index-ordered fold.
@@ -87,22 +109,94 @@ EvalResult host_sweep_find_best(const BitMatrix& tumor, const BitMatrix& normal,
   workers = static_cast<std::uint32_t>(
       std::min<std::uint64_t>(workers, std::max<std::uint64_t>(1, queue.chunk_count())));
 
+  obs::HostProfiler* profiler = options.profiler;
+  const bool count_bitops = profiler != nullptr && profiler->count_bitops;
+  // Swapping in the counting dispatch tables is one pointer store; the
+  // per-call cost only exists while a profiled sweep runs, and the previous
+  // state is restored on the way out so unprofiled callers never pay.
+  const bool counting_before = count_bitops ? set_call_counting(true) : false;
+
   std::vector<WorkerOutput> outputs(workers);
+  std::vector<obs::HostWorkerSample> samples(profiler != nullptr ? workers : 0);
+  std::vector<Clock::time_point> finish_at(profiler != nullptr ? workers : 0);
+
   const auto worker_body = [&](std::uint32_t id) {
     WorkerOutput& out = outputs[id];
     Arena arena;
     std::uint64_t begin = 0, end = 0;
-    while (queue.next(&begin, &end)) {
-      // The arena reset makes every chunk's Scratch land on the same warm
-      // block — per-chunk allocation drops to zero after the first grab.
+    if (profiler == nullptr) {
+      while (queue.next(&begin, &end)) {
+        // The arena reset makes every chunk's Scratch land on the same warm
+        // block — per-chunk allocation drops to zero after the first grab.
+        arena.reset();
+        const EvalResult best =
+            evaluate_chunk(tumor, normal, ctx, options, begin, end, &out.stats, &arena);
+        ++out.chunks;
+        if (best.valid) out.candidates.push_back({begin, best});
+      }
+      out.arena_blocks = arena.block_allocations();
+      return;
+    }
+
+    // Profiled variant of the same loop: two steady_clock reads per chunk
+    // (claim edge, evaluate edge) feed the claim-latency histogram and the
+    // busy/idle split; everything that decides the selection is untouched.
+    obs::HostWorkerSample& sample = samples[id];
+    const BitopsCallCounts calls_before = thread_bitops_calls();
+    Clock::time_point mark = Clock::now();
+    for (;;) {
+      const bool claimed = queue.next(&begin, &end);
+      const Clock::time_point claimed_at = Clock::now();
+      const double claim_latency = seconds_between(mark, claimed_at);
+      sample.claim_seconds += claim_latency;
+      ++sample.claim_histogram[obs::claim_bucket(claim_latency)];
+      if (!claimed) {
+        // The one failed poll every worker's drain ends on.
+        ++sample.empty_polls;
+        finish_at[id] = claimed_at;
+        break;
+      }
       arena.reset();
       const EvalResult best =
           evaluate_chunk(tumor, normal, ctx, options, begin, end, &out.stats, &arena);
+      mark = Clock::now();
+      sample.eval_seconds += seconds_between(claimed_at, mark);
       ++out.chunks;
       if (best.valid) out.candidates.push_back({begin, best});
     }
     out.arena_blocks = arena.block_allocations();
+
+    const BitopsCallCounts calls_now = thread_bitops_calls();
+    const BitopsCallCounts delta = calls_now - calls_before;
+    sample.calls.popcount_row = delta.popcount_row;
+    sample.calls.and2 = delta.and2;
+    sample.calls.and3 = delta.and3;
+    sample.calls.and4 = delta.and4;
+    sample.calls.and_rows = delta.and_rows;
+    sample.calls.and_rows_inplace = delta.and_rows_inplace;
+    sample.calls.andnot2 = delta.andnot2;
+    sample.calls.andnot_rows = delta.andnot_rows;
+    sample.chunks = out.chunks;
+    sample.candidates = static_cast<std::uint64_t>(out.candidates.size());
+    sample.combinations = out.stats.combinations;
+    sample.arena_peak_words = arena.peak_words();
+    sample.arena_capacity_words = arena.capacity_words();
+    sample.arena_blocks = arena.block_allocations();
   };
+
+  const Clock::time_point sweep_start = Clock::now();
+  if (profiler != nullptr) {
+    obs::HostSweepSetup setup;
+    setup.workers = workers;
+    setup.chunk_size = options.chunk;
+    setup.chunk_count = queue.chunk_count();
+    setup.lambda_end = lambda_end;
+    setup.hits = options.hits;
+    setup.scheme = sweep_scheme_name(options);
+    setup.backend = backend_name(active_backend());
+    setup.bitops_counted = count_bitops;
+    profiler->begin_sweep(setup);
+  }
 
   if (workers <= 1) {
     worker_body(0);
@@ -112,6 +206,7 @@ EvalResult host_sweep_find_best(const BitMatrix& tumor, const BitMatrix& normal,
     for (std::uint32_t id = 0; id < workers; ++id) pool.emplace_back(worker_body, id);
     for (std::thread& t : pool) t.join();
   }
+  const Clock::time_point joined_at = Clock::now();
 
   // Deterministic merge: concatenate per-worker candidate lists, order by
   // chunk-begin λ (chunks are disjoint, so the key is unique), fold with
@@ -126,6 +221,22 @@ EvalResult host_sweep_find_best(const BitMatrix& tumor, const BitMatrix& normal,
             [](const Candidate& a, const Candidate& b) { return a.chunk_begin < b.chunk_begin; });
   EvalResult best;
   for (const Candidate& candidate : merged) best = merge_results(best, candidate.result);
+
+  if (profiler != nullptr) {
+    const Clock::time_point merged_at = Clock::now();
+    if (count_bitops) set_call_counting(counting_before);
+    for (std::uint32_t id = 0; id < workers; ++id) {
+      // Tail idle: the gap between this worker draining the queue and the
+      // last worker joining — the end-of-sweep load-imbalance cost.
+      samples[id].tail_idle_seconds = seconds_between(finish_at[id], joined_at);
+      profiler->record_worker(id, samples[id]);
+    }
+    obs::HostSweepClose close;
+    close.wall_seconds = seconds_between(sweep_start, merged_at);
+    close.merge_seconds = seconds_between(joined_at, merged_at);
+    close.polls = queue.polls();
+    profiler->end_sweep(close);
+  }
 
   if (telemetry != nullptr) {
     telemetry->threads = workers;

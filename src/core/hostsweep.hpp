@@ -25,6 +25,10 @@
 #include "core/result.hpp"
 #include "core/schemes.hpp"
 
+namespace multihit::obs {
+class HostProfiler;
+}
+
 namespace multihit {
 
 struct HostSweepOptions {
@@ -36,6 +40,12 @@ struct HostSweepOptions {
   Scheme2 scheme2 = Scheme2::k1x1;  ///< used when hits == 2
   Scheme5 scheme5 = Scheme5::k4x1;  ///< used when hits == 5
   MemOpts mem_opts{.prefetch_i = true, .prefetch_j = true};
+  /// Optional wall-clock profiler (obs/hostprof.hpp). Null keeps the worker
+  /// loop on its original untimed path; non-null adds two steady_clock reads
+  /// per chunk and never changes which combination is selected — profiled
+  /// and unprofiled sweeps are bit-identical (pinned by tests and the ci.sh
+  /// hostprof smoke).
+  obs::HostProfiler* profiler = nullptr;
 };
 
 /// Wall-clock-free accounting for one sweep (all deterministic).

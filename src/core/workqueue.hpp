@@ -39,6 +39,21 @@ class ChunkQueue {
     return (span + chunk_ - 1) / chunk_;
   }
 
+  // Starvation accounting for the host profiler, read for free off the
+  // existing cursor: every next() is one poll, polls past the chunk count
+  // came back empty. Each worker's drain loop fails exactly once, so at
+  // quiescence empty_polls() == worker count — a deterministic invariant the
+  // hostprof crosscheck pins.
+
+  /// next() calls so far (racy while workers run; exact after they join).
+  std::uint64_t polls() const noexcept { return cursor_.load(std::memory_order_relaxed); }
+
+  /// Successful claims among polls().
+  std::uint64_t claimed() const noexcept { return std::min(polls(), chunk_count()); }
+
+  /// Failed claims among polls().
+  std::uint64_t empty_polls() const noexcept { return polls() - claimed(); }
+
  private:
   const std::uint64_t begin_;
   const std::uint64_t end_;

@@ -1,0 +1,657 @@
+// Host-sweep profiler: collection, the multihit.hostprof.v1 renderer, its
+// exact inverse, the deterministic projection, consistency crosschecks, and
+// the folded flamegraph export. Rendering is a pure function of the stored
+// HostProfile fields so parse -> re-render is byte-identical.
+
+#include "obs/hostprof.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <stdexcept>
+
+#include "obs/schema.hpp"
+
+namespace multihit::obs {
+
+namespace {
+
+std::string fmt(const char* format, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, format, value);
+  return buf;
+}
+
+// The fixed op order every calls table uses — report sections, text output,
+// and the backend attribution all iterate this one list.
+struct OpField {
+  const char* name;
+  std::uint64_t HostBitopsCalls::* member;
+};
+constexpr OpField kOpFields[] = {
+    {"popcount_row", &HostBitopsCalls::popcount_row},
+    {"and2", &HostBitopsCalls::and2},
+    {"and3", &HostBitopsCalls::and3},
+    {"and4", &HostBitopsCalls::and4},
+    {"and_rows", &HostBitopsCalls::and_rows},
+    {"and_rows_inplace", &HostBitopsCalls::and_rows_inplace},
+    {"andnot2", &HostBitopsCalls::andnot2},
+    {"andnot_rows", &HostBitopsCalls::andnot_rows},
+};
+
+JsonValue calls_json(const HostBitopsCalls& calls) {
+  JsonValue out = JsonValue::object();
+  for (const OpField& op : kOpFields) out.set(op.name, JsonValue(calls.*op.member));
+  out.set("total", JsonValue(calls.total()));
+  return out;
+}
+
+// ---------------------------------------------------------------- extraction
+// Strict typed member access for hostprof_from_json: every miss names the
+// exact path so "you handed me a truncated file" is a one-line diagnosis.
+
+const JsonValue& member(const JsonValue& obj, const std::string& where, const char* key) {
+  const JsonValue* value = obj.is_object() ? obj.find(key) : nullptr;
+  if (!value) throw HostprofError("hostprof document: missing " + where + "." + key);
+  return *value;
+}
+
+double get_number(const JsonValue& obj, const std::string& where, const char* key) {
+  const JsonValue& value = member(obj, where, key);
+  if (!value.is_number()) throw HostprofError("hostprof document: " + where + "." + key + " is not a number");
+  return value.as_number();
+}
+
+std::uint64_t get_u64(const JsonValue& obj, const std::string& where, const char* key) {
+  const double number = get_number(obj, where, key);
+  if (number < 0 || number != std::floor(number)) {
+    throw HostprofError("hostprof document: " + where + "." + key + " is not a non-negative integer");
+  }
+  return static_cast<std::uint64_t>(number);
+}
+
+std::string get_string(const JsonValue& obj, const std::string& where, const char* key) {
+  const JsonValue& value = member(obj, where, key);
+  if (!value.is_string()) throw HostprofError("hostprof document: " + where + "." + key + " is not a string");
+  return value.as_string();
+}
+
+bool get_bool(const JsonValue& obj, const std::string& where, const char* key) {
+  const JsonValue& value = member(obj, where, key);
+  if (!value.is_bool()) throw HostprofError("hostprof document: " + where + "." + key + " is not a boolean");
+  return value.as_bool();
+}
+
+const JsonValue& get_array(const JsonValue& obj, const std::string& where, const char* key) {
+  const JsonValue& value = member(obj, where, key);
+  if (!value.is_array()) throw HostprofError("hostprof document: " + where + "." + key + " is not an array");
+  return value;
+}
+
+const JsonValue& get_object(const JsonValue& obj, const std::string& where, const char* key) {
+  const JsonValue& value = member(obj, where, key);
+  if (!value.is_object()) throw HostprofError("hostprof document: " + where + "." + key + " is not an object");
+  return value;
+}
+
+HostBitopsCalls calls_from_json(const JsonValue& obj, const std::string& where) {
+  HostBitopsCalls calls;
+  for (const OpField& op : kOpFields) calls.*op.member = get_u64(obj, where, op.name);
+  return calls;
+}
+
+}  // namespace
+
+std::size_t claim_bucket(double seconds) noexcept {
+  for (std::size_t i = 0; i < kClaimBucketBounds.size(); ++i) {
+    if (seconds <= kClaimBucketBounds[i]) return i;
+  }
+  return kClaimBuckets - 1;
+}
+
+// ---------------------------------------------------------------- collection
+
+void HostProfiler::begin_sweep(const HostSweepSetup& setup) {
+  if (in_sweep_) throw std::logic_error("HostProfiler: begin_sweep with a sweep already open");
+  in_sweep_ = true;
+  current_ = HostSweepStat{};
+  current_.index = static_cast<std::uint32_t>(profile_.sweeps.size());
+  current_.workers = setup.workers;
+  current_.chunk_size = setup.chunk_size;
+  current_.chunk_count = setup.chunk_count;
+  current_.lambda_end = setup.lambda_end;
+
+  if (profile_.sweeps.empty() && profile_.workers == 0) {
+    profile_.hits = setup.hits;
+    profile_.scheme = setup.scheme;
+    profile_.backend = setup.backend;
+    profile_.bitops_counted = setup.bitops_counted;
+    profile_.chunk_size = setup.chunk_size;
+    profile_.lambda_end = setup.lambda_end;
+  }
+  if (setup.workers > profile_.workers) profile_.workers = setup.workers;
+  while (profile_.worker_stats.size() < setup.workers) {
+    HostWorkerStat stat;
+    stat.worker = static_cast<std::uint32_t>(profile_.worker_stats.size());
+    profile_.worker_stats.push_back(stat);
+  }
+}
+
+void HostProfiler::record_worker(std::uint32_t worker, const HostWorkerSample& sample) {
+  if (!in_sweep_) throw std::logic_error("HostProfiler: record_worker outside a sweep");
+  if (worker >= profile_.worker_stats.size()) {
+    throw std::logic_error("HostProfiler: record_worker beyond the sweep's worker count");
+  }
+  HostWorkerStat& stat = profile_.worker_stats[worker];
+  stat.sweeps += 1;
+  stat.chunks += sample.chunks;
+  stat.candidates += sample.candidates;
+  stat.combinations += sample.combinations;
+  stat.empty_polls += sample.empty_polls;
+  stat.calls += sample.calls;
+  stat.claim_seconds += sample.claim_seconds;
+  stat.eval_seconds += sample.eval_seconds;
+  stat.tail_idle_seconds += sample.tail_idle_seconds;
+  for (std::size_t i = 0; i < kClaimBuckets; ++i) {
+    stat.claim_histogram[i] += sample.claim_histogram[i];
+  }
+  stat.arena_peak_words = std::max(stat.arena_peak_words, sample.arena_peak_words);
+  stat.arena_capacity_words = std::max(stat.arena_capacity_words, sample.arena_capacity_words);
+  stat.arena_blocks += sample.arena_blocks;
+
+  current_.chunks += sample.chunks;
+  current_.candidates += sample.candidates;
+  current_.combinations += sample.combinations;
+
+  profile_.total_chunks += sample.chunks;
+  profile_.total_claims += sample.chunks;  // every successful poll is one chunk
+  profile_.total_empty_polls += sample.empty_polls;
+  profile_.total_candidates += sample.candidates;
+  profile_.total_combinations += sample.combinations;
+  profile_.total_calls += sample.calls;
+  profile_.arena_peak_words_max = std::max(profile_.arena_peak_words_max, sample.arena_peak_words);
+  profile_.eval_seconds += sample.eval_seconds;
+  profile_.claim_seconds += sample.claim_seconds;
+  profile_.tail_idle_seconds += sample.tail_idle_seconds;
+}
+
+void HostProfiler::end_sweep(const HostSweepClose& close) {
+  if (!in_sweep_) throw std::logic_error("HostProfiler: end_sweep without begin_sweep");
+  in_sweep_ = false;
+  current_.wall_seconds = close.wall_seconds;
+  current_.merge_seconds = close.merge_seconds;
+  current_.polls = close.polls;
+  profile_.wall_seconds += close.wall_seconds;
+  profile_.merge_seconds += close.merge_seconds;
+  profile_.sweeps.push_back(current_);
+}
+
+// ----------------------------------------------------------------- rendering
+
+PhaseStat hostprof_imbalance(const HostProfile& profile, const std::string& phase) {
+  PhaseStat stat;
+  stat.phase = phase;
+  if (phase == "evaluate") {
+    stat.category = "compute";
+  } else if (phase == "claim") {
+    stat.category = "queue";
+  } else if (phase == "tail_idle") {
+    stat.category = "idle";
+  } else {
+    throw std::logic_error("hostprof_imbalance: unknown phase " + phase);
+  }
+
+  const auto value_of = [&](const HostWorkerStat& w) {
+    if (phase == "evaluate") return w.eval_seconds;
+    if (phase == "claim") return w.claim_seconds;
+    return w.tail_idle_seconds;
+  };
+
+  stat.lanes = static_cast<std::uint32_t>(profile.worker_stats.size());
+  if (stat.lanes == 0) return stat;
+  for (const HostWorkerStat& worker : profile.worker_stats) {
+    const double value = value_of(worker);
+    stat.total_seconds += value;
+    if (value > stat.max_seconds) {
+      stat.max_seconds = value;
+      stat.straggler_lane = worker.worker;
+    }
+  }
+  stat.mean_seconds = stat.total_seconds / stat.lanes;
+  double variance = 0.0;
+  for (const HostWorkerStat& worker : profile.worker_stats) {
+    const double delta = value_of(worker) - stat.mean_seconds;
+    variance += delta * delta;
+  }
+  stat.stddev_seconds = std::sqrt(variance / stat.lanes);
+  stat.max_over_mean = stat.mean_seconds > 0.0 ? stat.max_seconds / stat.mean_seconds : 0.0;
+  return stat;
+}
+
+namespace {
+
+JsonValue workload_json(const HostProfile& profile) {
+  JsonValue workload = JsonValue::object();
+  workload.set("hits", JsonValue(static_cast<std::uint64_t>(profile.hits)));
+  workload.set("scheme", JsonValue(profile.scheme));
+  workload.set("lambda_end", JsonValue(profile.lambda_end));
+  workload.set("chunk_size", JsonValue(profile.chunk_size));
+  workload.set("workers", JsonValue(static_cast<std::uint64_t>(profile.workers)));
+  workload.set("sweeps", JsonValue(static_cast<std::uint64_t>(profile.sweeps.size())));
+  workload.set("bitops_counted", JsonValue(profile.bitops_counted));
+  return workload;
+}
+
+JsonValue totals_json(const HostProfile& profile) {
+  JsonValue totals = JsonValue::object();
+  totals.set("chunks", JsonValue(profile.total_chunks));
+  totals.set("claims", JsonValue(profile.total_claims));
+  totals.set("empty_polls", JsonValue(profile.total_empty_polls));
+  totals.set("candidates", JsonValue(profile.total_candidates));
+  totals.set("combinations", JsonValue(profile.total_combinations));
+  totals.set("arena_peak_words_max", JsonValue(profile.arena_peak_words_max));
+  totals.set("bitops_calls", calls_json(profile.total_calls));
+  return totals;
+}
+
+void set_phase_json(JsonValue& array, const PhaseStat& stat) {
+  // Mirrors the phase-entry shape analysis_report emits (report.cpp) so
+  // downstream consumers read one imbalance format.
+  JsonValue entry = JsonValue::object();
+  entry.set("phase", JsonValue(stat.phase));
+  entry.set("category", JsonValue(stat.category));
+  entry.set("total_seconds", JsonValue(stat.total_seconds));
+  entry.set("mean_seconds", JsonValue(stat.mean_seconds));
+  entry.set("max_seconds", JsonValue(stat.max_seconds));
+  entry.set("stddev_seconds", JsonValue(stat.stddev_seconds));
+  entry.set("max_over_mean", JsonValue(stat.max_over_mean));
+  entry.set("lanes", JsonValue(static_cast<double>(stat.lanes)));
+  entry.set("straggler_lane", JsonValue(static_cast<double>(stat.straggler_lane)));
+  array.push_back(std::move(entry));
+}
+
+}  // namespace
+
+JsonValue hostprof_report(const HostProfile& profile) {
+  JsonValue doc = JsonValue::object();
+  doc.set("schema", JsonValue(kHostprofSchema));
+  doc.set("workload", workload_json(profile));
+  doc.set("totals", totals_json(profile));
+
+  // Backend attribution: which dispatched ops carried the sweep. The name is
+  // wall-clock-adjacent context (it varies run to run with MULTIHIT_BITOPS),
+  // so it lives outside the deterministic projection; the call *counts* it
+  // attributes are dispatch-level and identical across backends.
+  JsonValue backend = JsonValue::object();
+  backend.set("name", JsonValue(profile.backend));
+  const std::uint64_t total_calls = profile.total_calls.total();
+  backend.set("calls_per_combination",
+              JsonValue(profile.total_combinations > 0
+                            ? static_cast<double>(total_calls) /
+                                  static_cast<double>(profile.total_combinations)
+                            : 0.0));
+  JsonValue attribution = JsonValue::array();
+  for (const OpField& op : kOpFields) {
+    const std::uint64_t calls = profile.total_calls.*op.member;
+    JsonValue entry = JsonValue::object();
+    entry.set("op", JsonValue(op.name));
+    entry.set("calls", JsonValue(calls));
+    entry.set("fraction", JsonValue(total_calls > 0 ? static_cast<double>(calls) /
+                                                          static_cast<double>(total_calls)
+                                                    : 0.0));
+    attribution.push_back(std::move(entry));
+  }
+  backend.set("attribution", std::move(attribution));
+  doc.set("backend", std::move(backend));
+
+  JsonValue wallclock = JsonValue::object();
+  wallclock.set("wall_seconds", JsonValue(profile.wall_seconds));
+  wallclock.set("eval_seconds", JsonValue(profile.eval_seconds));
+  wallclock.set("claim_seconds", JsonValue(profile.claim_seconds));
+  wallclock.set("merge_seconds", JsonValue(profile.merge_seconds));
+  wallclock.set("tail_idle_seconds", JsonValue(profile.tail_idle_seconds));
+  const double worker_seconds =
+      profile.eval_seconds + profile.claim_seconds + profile.tail_idle_seconds;
+  wallclock.set("busy_fraction",
+                JsonValue(worker_seconds > 0.0 ? profile.eval_seconds / worker_seconds : 0.0));
+  wallclock.set("combos_per_sec",
+                JsonValue(profile.wall_seconds > 0.0
+                              ? static_cast<double>(profile.total_combinations) /
+                                    profile.wall_seconds
+                              : 0.0));
+  doc.set("wallclock", std::move(wallclock));
+
+  JsonValue imbalance = JsonValue::array();
+  set_phase_json(imbalance, hostprof_imbalance(profile, "evaluate"));
+  set_phase_json(imbalance, hostprof_imbalance(profile, "claim"));
+  set_phase_json(imbalance, hostprof_imbalance(profile, "tail_idle"));
+  doc.set("imbalance", std::move(imbalance));
+
+  JsonValue latency = JsonValue::object();
+  JsonValue bounds = JsonValue::array();
+  for (const double bound : kClaimBucketBounds) bounds.push_back(JsonValue(bound));
+  latency.set("bounds_seconds", std::move(bounds));
+  JsonValue counts = JsonValue::array();
+  for (std::size_t i = 0; i < kClaimBuckets; ++i) {
+    std::uint64_t count = 0;
+    for (const HostWorkerStat& worker : profile.worker_stats) count += worker.claim_histogram[i];
+    counts.push_back(JsonValue(count));
+  }
+  latency.set("counts", std::move(counts));
+  doc.set("claim_latency", std::move(latency));
+
+  JsonValue workers = JsonValue::array();
+  for (const HostWorkerStat& worker : profile.worker_stats) {
+    JsonValue entry = JsonValue::object();
+    entry.set("worker", JsonValue(static_cast<std::uint64_t>(worker.worker)));
+    entry.set("sweeps", JsonValue(worker.sweeps));
+    entry.set("chunks", JsonValue(worker.chunks));
+    entry.set("candidates", JsonValue(worker.candidates));
+    entry.set("combinations", JsonValue(worker.combinations));
+    entry.set("empty_polls", JsonValue(worker.empty_polls));
+    entry.set("claim_seconds", JsonValue(worker.claim_seconds));
+    entry.set("eval_seconds", JsonValue(worker.eval_seconds));
+    entry.set("tail_idle_seconds", JsonValue(worker.tail_idle_seconds));
+    JsonValue histogram = JsonValue::array();
+    for (const std::uint64_t count : worker.claim_histogram) histogram.push_back(JsonValue(count));
+    entry.set("claim_histogram", std::move(histogram));
+    entry.set("arena_peak_words", JsonValue(worker.arena_peak_words));
+    entry.set("arena_capacity_words", JsonValue(worker.arena_capacity_words));
+    entry.set("arena_blocks", JsonValue(worker.arena_blocks));
+    entry.set("bitops_calls", calls_json(worker.calls));
+    workers.push_back(std::move(entry));
+  }
+  doc.set("workers", std::move(workers));
+
+  JsonValue sweeps = JsonValue::array();
+  for (const HostSweepStat& sweep : profile.sweeps) {
+    JsonValue entry = JsonValue::object();
+    entry.set("index", JsonValue(static_cast<std::uint64_t>(sweep.index)));
+    entry.set("workers", JsonValue(static_cast<std::uint64_t>(sweep.workers)));
+    entry.set("chunk_size", JsonValue(sweep.chunk_size));
+    entry.set("chunk_count", JsonValue(sweep.chunk_count));
+    entry.set("lambda_end", JsonValue(sweep.lambda_end));
+    entry.set("chunks", JsonValue(sweep.chunks));
+    entry.set("candidates", JsonValue(sweep.candidates));
+    entry.set("combinations", JsonValue(sweep.combinations));
+    entry.set("polls", JsonValue(sweep.polls));
+    entry.set("wall_seconds", JsonValue(sweep.wall_seconds));
+    entry.set("merge_seconds", JsonValue(sweep.merge_seconds));
+    sweeps.push_back(std::move(entry));
+  }
+  doc.set("sweeps", std::move(sweeps));
+  return doc;
+}
+
+JsonValue hostprof_deterministic(const HostProfile& profile) {
+  // Everything here is structural or counted: identical configurations
+  // produce byte-identical projections regardless of wall clock, bitops
+  // backend, or how chunks happened to land on workers.
+  JsonValue doc = JsonValue::object();
+  doc.set("schema", JsonValue(kHostprofSchema));
+  doc.set("deterministic", JsonValue(true));
+  doc.set("workload", workload_json(profile));
+  doc.set("totals", totals_json(profile));
+  return doc;
+}
+
+HostProfile hostprof_from_json(const JsonValue& doc) {
+  require_schema<HostprofError>(doc, kHostprofSchema, "hostprof document");
+  HostProfile profile;
+
+  const JsonValue& workload = get_object(doc, "$", "workload");
+  profile.hits = static_cast<std::uint32_t>(get_u64(workload, "workload", "hits"));
+  profile.scheme = get_string(workload, "workload", "scheme");
+  profile.lambda_end = get_u64(workload, "workload", "lambda_end");
+  profile.chunk_size = get_u64(workload, "workload", "chunk_size");
+  profile.workers = static_cast<std::uint32_t>(get_u64(workload, "workload", "workers"));
+  profile.bitops_counted = get_bool(workload, "workload", "bitops_counted");
+  const std::uint64_t sweep_count = get_u64(workload, "workload", "sweeps");
+
+  const JsonValue& totals = get_object(doc, "$", "totals");
+  profile.total_chunks = get_u64(totals, "totals", "chunks");
+  profile.total_claims = get_u64(totals, "totals", "claims");
+  profile.total_empty_polls = get_u64(totals, "totals", "empty_polls");
+  profile.total_candidates = get_u64(totals, "totals", "candidates");
+  profile.total_combinations = get_u64(totals, "totals", "combinations");
+  profile.arena_peak_words_max = get_u64(totals, "totals", "arena_peak_words_max");
+  profile.total_calls = calls_from_json(get_object(totals, "totals", "bitops_calls"),
+                                        "totals.bitops_calls");
+
+  profile.backend = get_string(get_object(doc, "$", "backend"), "backend", "name");
+
+  const JsonValue& wallclock = get_object(doc, "$", "wallclock");
+  profile.wall_seconds = get_number(wallclock, "wallclock", "wall_seconds");
+  profile.eval_seconds = get_number(wallclock, "wallclock", "eval_seconds");
+  profile.claim_seconds = get_number(wallclock, "wallclock", "claim_seconds");
+  profile.merge_seconds = get_number(wallclock, "wallclock", "merge_seconds");
+  profile.tail_idle_seconds = get_number(wallclock, "wallclock", "tail_idle_seconds");
+
+  const JsonValue& workers = get_array(doc, "$", "workers");
+  for (std::size_t i = 0; i < workers.size(); ++i) {
+    const JsonValue& entry = workers.at(i);
+    const std::string where = "workers[" + std::to_string(i) + "]";
+    HostWorkerStat stat;
+    stat.worker = static_cast<std::uint32_t>(get_u64(entry, where, "worker"));
+    stat.sweeps = get_u64(entry, where, "sweeps");
+    stat.chunks = get_u64(entry, where, "chunks");
+    stat.candidates = get_u64(entry, where, "candidates");
+    stat.combinations = get_u64(entry, where, "combinations");
+    stat.empty_polls = get_u64(entry, where, "empty_polls");
+    stat.claim_seconds = get_number(entry, where, "claim_seconds");
+    stat.eval_seconds = get_number(entry, where, "eval_seconds");
+    stat.tail_idle_seconds = get_number(entry, where, "tail_idle_seconds");
+    const JsonValue& histogram = get_array(entry, where, "claim_histogram");
+    if (histogram.size() != kClaimBuckets) {
+      throw HostprofError("hostprof document: " + where + ".claim_histogram has " +
+                          std::to_string(histogram.size()) + " buckets, expected " +
+                          std::to_string(kClaimBuckets));
+    }
+    for (std::size_t b = 0; b < kClaimBuckets; ++b) {
+      const JsonValue& count = histogram.at(b);
+      if (!count.is_number()) {
+        throw HostprofError("hostprof document: " + where + ".claim_histogram is not numeric");
+      }
+      stat.claim_histogram[b] = static_cast<std::uint64_t>(count.as_number());
+    }
+    stat.arena_peak_words = get_u64(entry, where, "arena_peak_words");
+    stat.arena_capacity_words = get_u64(entry, where, "arena_capacity_words");
+    stat.arena_blocks = get_u64(entry, where, "arena_blocks");
+    stat.calls = calls_from_json(get_object(entry, where, "bitops_calls"), where + ".bitops_calls");
+    profile.worker_stats.push_back(std::move(stat));
+  }
+
+  const JsonValue& sweeps = get_array(doc, "$", "sweeps");
+  if (sweeps.size() != sweep_count) {
+    throw HostprofError("hostprof document: workload.sweeps says " +
+                        std::to_string(sweep_count) + " but the sweeps array has " +
+                        std::to_string(sweeps.size()));
+  }
+  for (std::size_t i = 0; i < sweeps.size(); ++i) {
+    const JsonValue& entry = sweeps.at(i);
+    const std::string where = "sweeps[" + std::to_string(i) + "]";
+    HostSweepStat stat;
+    stat.index = static_cast<std::uint32_t>(get_u64(entry, where, "index"));
+    stat.workers = static_cast<std::uint32_t>(get_u64(entry, where, "workers"));
+    stat.chunk_size = get_u64(entry, where, "chunk_size");
+    stat.chunk_count = get_u64(entry, where, "chunk_count");
+    stat.lambda_end = get_u64(entry, where, "lambda_end");
+    stat.chunks = get_u64(entry, where, "chunks");
+    stat.candidates = get_u64(entry, where, "candidates");
+    stat.combinations = get_u64(entry, where, "combinations");
+    stat.polls = get_u64(entry, where, "polls");
+    stat.wall_seconds = get_number(entry, where, "wall_seconds");
+    stat.merge_seconds = get_number(entry, where, "merge_seconds");
+    profile.sweeps.push_back(std::move(stat));
+  }
+
+  return profile;
+}
+
+// --------------------------------------------------------------- crosschecks
+
+std::vector<std::string> hostprof_crosscheck(const HostProfile& profile) {
+  std::vector<std::string> mismatches;
+  const auto check_sum = [&](const char* what, std::uint64_t expected, std::uint64_t actual,
+                             const char* against) {
+    if (expected != actual) {
+      mismatches.push_back(std::string(what) + " " + std::to_string(expected) + " != " +
+                           std::to_string(actual) + " summed over " + against);
+    }
+  };
+
+  std::uint64_t worker_chunks = 0, worker_candidates = 0, worker_combinations = 0;
+  std::uint64_t worker_empty = 0;
+  HostBitopsCalls worker_calls;
+  for (const HostWorkerStat& worker : profile.worker_stats) {
+    worker_chunks += worker.chunks;
+    worker_candidates += worker.candidates;
+    worker_combinations += worker.combinations;
+    worker_empty += worker.empty_polls;
+    worker_calls += worker.calls;
+    std::uint64_t mass = 0;
+    for (const std::uint64_t count : worker.claim_histogram) mass += count;
+    if (mass != worker.chunks + worker.empty_polls) {
+      mismatches.push_back("worker " + std::to_string(worker.worker) + " claim histogram mass " +
+                           std::to_string(mass) + " != polls " +
+                           std::to_string(worker.chunks + worker.empty_polls));
+    }
+  }
+  check_sum("totals.chunks", profile.total_chunks, worker_chunks, "workers");
+  check_sum("totals.candidates", profile.total_candidates, worker_candidates, "workers");
+  check_sum("totals.combinations", profile.total_combinations, worker_combinations, "workers");
+  check_sum("totals.empty_polls", profile.total_empty_polls, worker_empty, "workers");
+  check_sum("totals.bitops_calls.total", profile.total_calls.total(), worker_calls.total(),
+            "workers");
+  if (profile.total_claims != profile.total_chunks) {
+    mismatches.push_back("totals.claims " + std::to_string(profile.total_claims) +
+                         " != totals.chunks " + std::to_string(profile.total_chunks) +
+                         " (every successful poll claims exactly one chunk)");
+  }
+
+  std::uint64_t sweep_chunks = 0, sweep_candidates = 0, sweep_combinations = 0;
+  for (const HostSweepStat& sweep : profile.sweeps) {
+    sweep_chunks += sweep.chunks;
+    sweep_candidates += sweep.candidates;
+    sweep_combinations += sweep.combinations;
+    if (sweep.chunks != sweep.chunk_count) {
+      mismatches.push_back("sweep " + std::to_string(sweep.index) + " evaluated " +
+                           std::to_string(sweep.chunks) + " chunks but the queue held " +
+                           std::to_string(sweep.chunk_count));
+    }
+    // Each launched worker's drain loop fails exactly once, so at quiescence
+    // polls == chunk_count + workers — the ChunkQueue starvation invariant.
+    if (sweep.polls != sweep.chunk_count + sweep.workers) {
+      mismatches.push_back("sweep " + std::to_string(sweep.index) + " polls " +
+                           std::to_string(sweep.polls) + " != chunk_count + workers " +
+                           std::to_string(sweep.chunk_count + sweep.workers));
+    }
+  }
+  check_sum("totals.chunks", profile.total_chunks, sweep_chunks, "sweeps");
+  check_sum("totals.candidates", profile.total_candidates, sweep_candidates, "sweeps");
+  check_sum("totals.combinations", profile.total_combinations, sweep_combinations, "sweeps");
+
+  if (profile.workers != profile.worker_stats.size()) {
+    mismatches.push_back("workload.workers " + std::to_string(profile.workers) +
+                         " != workers table size " + std::to_string(profile.worker_stats.size()));
+  }
+  return mismatches;
+}
+
+// -------------------------------------------------------------------- folded
+
+std::string hostprof_folded(const HostProfile& profile) {
+  // Same collapsed-stack text folded_stacks() emits: integer self
+  // microseconds per distinct stack, map-sorted, zero-µs stacks dropped.
+  std::map<std::string, double> self;
+  self["hostsweep;merge"] = profile.merge_seconds;
+  for (const HostWorkerStat& worker : profile.worker_stats) {
+    const std::string base = "hostsweep;worker " + std::to_string(worker.worker);
+    self[base + ";claim"] = worker.claim_seconds;
+    self[base + ";evaluate"] = worker.eval_seconds;
+    self[base + ";tail_idle"] = worker.tail_idle_seconds;
+  }
+  std::string out;
+  for (const auto& [stack, seconds] : self) {
+    const auto micros = static_cast<std::int64_t>(std::llround(std::max(seconds, 0.0) * 1e6));
+    if (micros <= 0) continue;
+    out += stack;
+    out += ' ';
+    out += std::to_string(micros);
+    out += '\n';
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------- text
+
+std::string hostprof_text(const HostProfile& profile, bool summary) {
+  std::string out = "host profile\n";
+  out += "  workload: " + std::to_string(profile.sweeps.size()) + " sweeps, " +
+         std::to_string(profile.workers) + " workers, chunk " +
+         std::to_string(profile.chunk_size) + ", scheme " + profile.scheme + ", hits " +
+         std::to_string(profile.hits) + ", lambda_end " + std::to_string(profile.lambda_end) +
+         "\n";
+  out += "  totals: " + std::to_string(profile.total_chunks) + " chunks (" +
+         std::to_string(profile.total_empty_polls) + " empty polls), " +
+         std::to_string(profile.total_candidates) + " candidates, " +
+         std::to_string(profile.total_combinations) + " combinations\n";
+  const std::uint64_t total_calls = profile.total_calls.total();
+  if (profile.bitops_counted) {
+    out += "  bitops (" + profile.backend + "): " + std::to_string(total_calls) + " calls";
+    if (profile.total_combinations > 0) {
+      out += ", " +
+             fmt("%.3f", static_cast<double>(total_calls) /
+                             static_cast<double>(profile.total_combinations)) +
+             " per combination";
+    }
+    out += "\n";
+    for (const OpField& op : kOpFields) {
+      const std::uint64_t calls = profile.total_calls.*op.member;
+      if (calls == 0) continue;
+      out += std::string("    ") + op.name + ": " + std::to_string(calls) + " (" +
+             fmt("%.1f", 100.0 * static_cast<double>(calls) / static_cast<double>(total_calls)) +
+             "%)\n";
+    }
+  } else {
+    out += "  bitops (" + profile.backend + "): call counting off\n";
+  }
+  const double worker_seconds =
+      profile.eval_seconds + profile.claim_seconds + profile.tail_idle_seconds;
+  out += "  wallclock: wall " + fmt("%.6g", profile.wall_seconds) + " s, eval " +
+         fmt("%.6g", profile.eval_seconds) + " s";
+  if (worker_seconds > 0.0) {
+    out += " (" + fmt("%.1f", 100.0 * profile.eval_seconds / worker_seconds) + "% of worker time)";
+  }
+  out += ", claim " + fmt("%.6g", profile.claim_seconds) + " s, merge " +
+         fmt("%.6g", profile.merge_seconds) + " s, tail idle " +
+         fmt("%.6g", profile.tail_idle_seconds) + " s\n";
+  if (profile.wall_seconds > 0.0) {
+    out += "  throughput: " +
+           fmt("%.6g", static_cast<double>(profile.total_combinations) / profile.wall_seconds) +
+           " combos/s\n";
+  }
+  out += "  arena: peak " + std::to_string(profile.arena_peak_words_max) + " words\n";
+  out += "  imbalance (max/mean across workers):\n";
+  for (const char* phase : {"evaluate", "claim", "tail_idle"}) {
+    const PhaseStat stat = hostprof_imbalance(profile, phase);
+    out += std::string("    ") + phase + ": mean " + fmt("%.6g", stat.mean_seconds) + " s, max " +
+           fmt("%.6g", stat.max_seconds) + " s (worker " + std::to_string(stat.straggler_lane) +
+           "), max/mean " + fmt("%.3f", stat.max_over_mean) + "\n";
+  }
+  if (!summary && !profile.worker_stats.empty()) {
+    out += "  workers:\n";
+    for (const HostWorkerStat& worker : profile.worker_stats) {
+      out += "    " + std::to_string(worker.worker) + ": chunks " +
+             std::to_string(worker.chunks) + ", combos " + std::to_string(worker.combinations) +
+             ", eval " + fmt("%.6g", worker.eval_seconds) + " s, claim " +
+             fmt("%.6g", worker.claim_seconds) + " s, idle " +
+             fmt("%.6g", worker.tail_idle_seconds) + " s, arena peak " +
+             std::to_string(worker.arena_peak_words) + " words\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace multihit::obs

@@ -33,6 +33,9 @@ inline constexpr std::string_view kServeSchema = "multihit.serve.v1";
 /// Per-tenant SLO evaluations (obstool slo --report-out, multihit_serve
 /// --slo-out).
 inline constexpr std::string_view kSloSchema = "multihit.slo.v1";
+/// Host-threaded sweep wall-clock profiles (brca_scaleout
+/// --host-profile-out, obstool hostprof --report-out).
+inline constexpr std::string_view kHostprofSchema = "multihit.hostprof.v1";
 
 /// Validates `doc`'s top-level "schema" tag and throws `Error` on mismatch
 /// with a message naming both the expected and the found schema — the found

@@ -94,7 +94,7 @@ struct OffsetRows {
   }
 };
 
-/// One backend-vs-scalar comparison of all six ops on one operand set.
+/// One backend-vs-scalar comparison of all eight ops on one operand set.
 void expect_identical(const OffsetRows& r, const std::string& label) {
   namespace sc = bitops_scalar;
   namespace av = bitops_avx2;
@@ -103,6 +103,10 @@ void expect_identical(const OffsetRows& r, const std::string& label) {
   EXPECT_EQ(sc::and_popcount3(r.a, r.b, r.c), av::and_popcount3(r.a, r.b, r.c)) << label;
   EXPECT_EQ(sc::and_popcount4(r.a, r.b, r.c, r.d), av::and_popcount4(r.a, r.b, r.c, r.d))
       << label;
+  // ANDNOT is order-sensitive (a & ~b != b & ~a on asymmetric operands), so
+  // check both orders against scalar.
+  EXPECT_EQ(sc::andnot_popcount2(r.a, r.b), av::andnot_popcount2(r.a, r.b)) << label;
+  EXPECT_EQ(sc::andnot_popcount2(r.b, r.a), av::andnot_popcount2(r.b, r.a)) << label;
 
   std::vector<std::uint64_t> out_s(r.a.size()), out_v(r.a.size());
   sc::and_rows(r.dst_s, r.a, r.b);
@@ -112,6 +116,10 @@ void expect_identical(const OffsetRows& r, const std::string& label) {
   // In-place AND starts from the just-computed (identical) staged rows.
   sc::and_rows_inplace(r.dst_s, r.c);
   av::and_rows_inplace(r.dst_v, r.c);
+  EXPECT_TRUE(std::equal(r.dst_s.begin(), r.dst_s.end(), r.dst_v.begin())) << label;
+
+  sc::andnot_rows(r.dst_s, r.a, r.b);
+  av::andnot_rows(r.dst_v, r.a, r.b);
   EXPECT_TRUE(std::equal(r.dst_s.begin(), r.dst_s.end(), r.dst_v.begin())) << label;
 }
 
@@ -176,6 +184,79 @@ TEST_F(BitopsSimd, DispatchedEntryPointsFollowSetBackend) {
   set_backend(previous);
 }
 
+TEST(BitopsDispatch, AndnotComplementIdentities) {
+  // Backend-independent semantics: popcount(a & ~b) == popcount(a) -
+  // popcount(a & b), and (a & ~b) | (a & b) reassembles a. Catches an
+  // operand-order swap (b & ~a) that the differential sweep alone would
+  // miss if both backends swapped the same way.
+  std::vector<std::uint64_t> a(19), b(19);
+  fill(a, Pattern::kRandom, 21);
+  fill(b, Pattern::kRandom, 22);
+  EXPECT_EQ(andnot_popcount(a, b), popcount_row(a) - and_popcount(a, b));
+
+  std::vector<std::uint64_t> masked(19), common(19);
+  andnot_rows(masked, a, b);
+  and_rows(common, a, b);
+  for (std::size_t w = 0; w < a.size(); ++w) {
+    EXPECT_EQ(masked[w] | common[w], a[w]) << "word " << w;
+    EXPECT_EQ(masked[w] & b[w], 0u) << "word " << w;
+  }
+}
+
+TEST(BitopsDispatch, CallCountingCountsDispatchedCallsOnly) {
+  // Counting swaps the dispatch table; the backend selection must survive
+  // the swap, counters only advance while enabled, and every public entry
+  // point bumps exactly its own counter.
+  const BitopsBackend backend_before = active_backend();
+  ASSERT_FALSE(call_counting());
+
+  std::vector<std::uint64_t> a(9), b(9), c(9), d(9), dst(9);
+  fill(a, Pattern::kRandom, 31);
+  fill(b, Pattern::kRandom, 32);
+  fill(c, Pattern::kRandom, 33);
+  fill(d, Pattern::kRandom, 34);
+
+  const BitopsCallCounts before_off = thread_bitops_calls();
+  (void)and_popcount(a, b);
+  EXPECT_EQ((thread_bitops_calls() - before_off).total(), 0u)
+      << "counters advanced while counting was off";
+
+  EXPECT_FALSE(set_call_counting(true));
+  EXPECT_TRUE(call_counting());
+  EXPECT_EQ(active_backend(), backend_before);
+
+  const BitopsCallCounts t0 = thread_bitops_calls();
+  (void)popcount_row(a);
+  (void)and_popcount(a, b);
+  (void)and_popcount(a, b, c);
+  (void)and_popcount(a, b, c, d);
+  (void)andnot_popcount(a, b);
+  and_rows(dst, a, b);
+  and_rows_inplace(dst, c);
+  andnot_rows(dst, a, b);
+  const BitopsCallCounts delta = thread_bitops_calls() - t0;
+  EXPECT_EQ(delta.popcount_row, 1u);
+  EXPECT_EQ(delta.and2, 1u);
+  EXPECT_EQ(delta.and3, 1u);
+  EXPECT_EQ(delta.and4, 1u);
+  EXPECT_EQ(delta.andnot2, 1u);
+  EXPECT_EQ(delta.and_rows, 1u);
+  EXPECT_EQ(delta.and_rows_inplace, 1u);
+  EXPECT_EQ(delta.andnot_rows, 1u);
+  EXPECT_EQ(delta.total(), 8u);
+
+  // Counted results match uncounted ones (the wrappers only forward).
+  const std::uint64_t counted = and_popcount(a, b);
+  EXPECT_TRUE(set_call_counting(false));
+  EXPECT_FALSE(call_counting());
+  EXPECT_EQ(active_backend(), backend_before);
+  EXPECT_EQ(and_popcount(a, b), counted);
+
+  const BitopsCallCounts after_off = thread_bitops_calls();
+  (void)and_popcount(a, b);
+  EXPECT_EQ((thread_bitops_calls() - after_off).total(), 0u);
+}
+
 TEST(BitopsDispatch, ParseBackendRoundTrips) {
   bool ok = false;
   EXPECT_EQ(parse_backend("scalar", &ok), BitopsBackend::kScalar);
@@ -212,8 +293,10 @@ TEST(BitopsContractDeathTest, MismatchedSpanLengthsAbort) {
   EXPECT_DEATH((void)and_popcount(a, b), "span length mismatch");
   EXPECT_DEATH((void)and_popcount(a, b, c), "span length mismatch");
   EXPECT_DEATH((void)and_popcount(a, c, b, d), "span length mismatch");
+  EXPECT_DEATH((void)andnot_popcount(a, b), "span length mismatch");
   EXPECT_DEATH(and_rows(dst, a, c), "span length mismatch");
   EXPECT_DEATH(and_rows_inplace(dst, a), "span length mismatch");
+  EXPECT_DEATH(andnot_rows(dst, a, c), "span length mismatch");
 }
 #else
 TEST(BitopsContractDeathTest, MismatchedSpanLengthsAbort) {
