@@ -1,12 +1,31 @@
 // BRCA scale-out: the paper's headline experiment end-to-end.
 //
-//   $ ./examples/brca_scaleout [nodes] [--crash R@I[:F]] [--straggle R@I:F]
+//   $ ./examples/brca_scaleout [nodes] [--scheduler ea|ed|mem]
+//                              [--crash R@I[:F]] [--straggle R@I:F]
 //                              [--drop R@I:N] [--abort I] [--checkpoint N]
 //                              [--host-threads N] [--host-chunk C]
 //                              [--trace-out FILE] [--metrics-out FILE]
 //                              [--report-out FILE] [--profile-out FILE]
 //                              [--health-out FILE] [--truth-out FILE]
+//                              [--manifest-out FILE] [--artifacts-dir DIR]
 //                              [--log-level LEVEL]
+//
+// `--scheduler` picks the λ partitioner (default ea = equi-area; ed =
+// equi-distance, mem = memory-aware) — selections are identical under all
+// three, only the modeled schedule changes, which makes an ea-vs-ed pair
+// the canonical `multihit-obstool diff` regression-triage exercise.
+//
+// `--artifacts-dir DIR` is the one-flag observability bundle: every
+// artifact above that was not explicitly routed elsewhere is written under
+// DIR with its standard name (run.trace.json, run.metrics.json,
+// run.analysis.json, run.profile.json, run.health.json, plus
+// run.truth.json when faults are injected and run.hostprof.json when
+// --host-threads is on), and a multihit.run.v1 manifest (DIR/manifest.json,
+// or --manifest-out) inventories the run configuration plus every emitted
+// file with a content digest — two such directories are diffable with
+// `multihit-obstool diff A/manifest.json B/manifest.json`. `--manifest-out`
+// also works without --artifacts-dir, inventorying whatever --*-out
+// artifacts were requested.
 //
 // `--host-threads N` additionally runs the full greedy cover as a host-side
 // multithreaded sweep on real silicon (src/core/hostsweep.hpp): N worker
@@ -60,6 +79,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 
@@ -74,19 +94,23 @@
 #include "obs/hostprof.hpp"
 #include "obs/monitor.hpp"
 #include "obs/recorder.hpp"
+#include "obs/runinfo.hpp"
+#include "obs/schema.hpp"
 #include "util/log.hpp"
 #include "util/table.hpp"
 
 namespace {
 
 [[noreturn]] void usage() {
-  std::cerr << "usage: brca_scaleout [nodes] [--crash R@I[:F]] [--straggle R@I:F]\n"
+  std::cerr << "usage: brca_scaleout [nodes] [--scheduler ea|ed|mem]\n"
+               "                     [--crash R@I[:F]] [--straggle R@I:F]\n"
                "                     [--drop R@I:N] [--abort I] [--checkpoint N]\n"
                "                     [--host-threads N] [--host-chunk C]\n"
                "                     [--host-profile-out FILE]\n"
                "                     [--trace-out FILE] [--metrics-out FILE]\n"
                "                     [--report-out FILE] [--profile-out FILE]\n"
                "                     [--health-out FILE] [--truth-out FILE]\n"
+               "                     [--manifest-out FILE] [--artifacts-dir DIR]\n"
                "                     [--log-level LEVEL]\n";
   std::exit(1);
 }
@@ -101,6 +125,7 @@ int main(int argc, char** argv) {
   std::uint64_t host_chunk = 1024;
   std::string host_profile_out;
   std::string trace_out, metrics_out, report_out, profile_out, health_out, truth_out;
+  std::string manifest_out, artifacts_dir;
 
   for (int a = 1; a < argc; ++a) {
     const std::string arg = argv[a];
@@ -147,6 +172,21 @@ int main(int argc, char** argv) {
       health_out = next();
     } else if (arg == "--truth-out") {
       truth_out = next();
+    } else if (arg == "--manifest-out") {
+      manifest_out = next();
+    } else if (arg == "--artifacts-dir") {
+      artifacts_dir = next();
+    } else if (arg == "--scheduler") {
+      const std::string name = next();
+      if (name == "ea") {
+        options.scheduler = SchedulerKind::kEquiArea;
+      } else if (name == "ed") {
+        options.scheduler = SchedulerKind::kEquiDistance;
+      } else if (name == "mem") {
+        options.scheduler = SchedulerKind::kMemoryAware;
+      } else {
+        usage();
+      }
     } else if (arg == "--log-level") {
       const char* name = next();
       const auto level = log::parse_level(name);
@@ -169,6 +209,30 @@ int main(int argc, char** argv) {
   if (!host_profile_out.empty() && host_threads == 0) {
     std::cerr << "--host-profile-out requires --host-threads (it profiles the host sweep)\n";
     return 1;
+  }
+  if (!artifacts_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(artifacts_dir, ec);
+    if (ec) {
+      std::cerr << "error: cannot create --artifacts-dir " << artifacts_dir << ": "
+                << ec.message() << "\n";
+      return 1;
+    }
+    const auto standard = [&artifacts_dir](const char* name) {
+      return (std::filesystem::path(artifacts_dir) / name).string();
+    };
+    if (trace_out.empty()) trace_out = standard("run.trace.json");
+    if (metrics_out.empty()) metrics_out = standard("run.metrics.json");
+    if (report_out.empty()) report_out = standard("run.analysis.json");
+    if (profile_out.empty()) profile_out = standard("run.profile.json");
+    if (health_out.empty()) health_out = standard("run.health.json");
+    // Ground truth only means something with injected faults, and the host
+    // profile only exists when the host sweep runs.
+    if (truth_out.empty() && !options.faults.empty()) truth_out = standard("run.truth.json");
+    if (host_profile_out.empty() && host_threads > 0) {
+      host_profile_out = standard("run.hostprof.json");
+    }
+    if (manifest_out.empty()) manifest_out = standard("manifest.json");
   }
 
   // A BRCA-shaped 4-hit downscale: the registry's BRCA entry is 2-hit (as
@@ -352,6 +416,58 @@ int main(int argc, char** argv) {
                 << profile.total_calls.total()
                 << " bitops call(s); read with multihit-obstool hostprof)\n";
     }
+  }
+
+  if (!manifest_out.empty()) {
+    obs::RunManifest manifest;
+    manifest.driver = "brca_scaleout";
+    obs::set_config(manifest, "nodes", std::to_string(nodes));
+    obs::set_config(manifest, "gpus", std::to_string(nodes * 6));
+    obs::set_config(manifest, "hits", "4");
+    obs::set_config(manifest, "scheme", "3x1");
+    obs::set_config(manifest, "scheduler", scheduler_name(options.scheduler));
+    obs::set_config(manifest, "seed", std::to_string(spec.seed));
+    obs::set_config(manifest, "dataset", data.name);
+    obs::set_config(manifest, "bitops_backend", backend_name(active_backend()));
+    obs::set_config(manifest, "host_threads", std::to_string(host_threads));
+    obs::set_config(manifest, "host_chunk", std::to_string(host_chunk));
+    obs::set_config(manifest, "checkpoint_every",
+                    std::to_string(options.checkpoint_every));
+    const std::string faults =
+        options.faults.empty() ? std::string("none") : describe(options.faults);
+    obs::set_config(manifest, "faults", faults);
+    obs::set_config(manifest, "fault_plan_digest", obs::content_digest(faults));
+    try {
+      // Digest from the path we actually wrote, then record the
+      // manifest-relative form so --artifacts-dir directories relocate.
+      const auto add = [&](const char* name, std::string_view schema,
+                           const std::string& path) {
+        if (path.empty()) return;
+        obs::add_artifact_from_file(manifest, name, std::string(schema), path);
+        for (obs::RunArtifact& artifact : manifest.artifacts) {
+          if (artifact.name == name) {
+            artifact.path = obs::manifest_artifact_path(path, manifest_out);
+          }
+        }
+      };
+      add("trace", obs::kChromeTraceTag, trace_out);
+      add("metrics", obs::kMetricsSchema, metrics_out);
+      add("analysis", obs::kAnalysisSchema, report_out);
+      add("profile", obs::kProfileSchema, profile_out);
+      add("health", obs::kHealthSchema, health_out);
+      add("truth", obs::kTruthSchema, truth_out);
+      add("hostprof", obs::kHostprofSchema, host_profile_out);
+    } catch (const std::exception& e) {
+      std::cerr << "error: " << e.what() << "\n";
+      return 1;
+    }
+    if (!obs::write_manifest(manifest, manifest_out)) {
+      std::cerr << "error: cannot write run manifest to " << manifest_out << "\n";
+      return 1;
+    }
+    std::cout << "  run manifest written to " << manifest_out << " ("
+              << manifest.artifacts.size()
+              << " artifact(s); diff runs with multihit-obstool diff)\n";
   }
 
   std::cout << "\nPart 2 — paper-scale strong scaling (analytic model, BRCA G=19411):\n";

@@ -9,6 +9,7 @@
 //                               [--trace-out FILE] [--metrics-out FILE]
 //                               [--slo-spec FILE] [--slo-out FILE]
 //                               [--scenario none|overload|starvation|burn|thrash]
+//                               [--manifest-out FILE] [--artifacts-dir DIR]
 //                               [--bench]
 //
 // The trace generator (src/serve/trace.cpp) produces a fully seeded request
@@ -42,10 +43,18 @@
 // plants one serve pathology (see serve::apply_scenario) on top of the other
 // flags, for detector-quality sweeps; violations never change this tool's
 // exit status — the verdict is `obstool slo`'s job.
+//
+// --manifest-out writes a multihit.run.v1 manifest (obs/runinfo.hpp): the
+// run configuration plus a digest inventory of every artifact the
+// invocation emitted, the unit `obstool diff` compares. --artifacts-dir DIR
+// is the one-flag spelling: it defaults --out/--trace-out/--metrics-out
+// (and --slo-out when --slo-spec is given) to standard names under DIR and
+// writes DIR/manifest.json.
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -54,10 +63,13 @@
 #include <utility>
 #include <vector>
 
+#include "bitmat/bitops.hpp"
 #include "core/engine.hpp"
 #include "data/registry.hpp"
 #include "obs/bench.hpp"
 #include "obs/recorder.hpp"
+#include "obs/runinfo.hpp"
+#include "obs/schema.hpp"
 #include "serve/cache.hpp"
 #include "serve/job.hpp"
 #include "serve/service.hpp"
@@ -76,6 +88,7 @@ int usage() {
                "                      [--metrics-out FILE] [--slo-spec FILE]\n"
                "                      [--slo-out FILE]\n"
                "                      [--scenario none|overload|starvation|burn|thrash]\n"
+               "                      [--manifest-out FILE] [--artifacts-dir DIR]\n"
                "                      [--bench]\n";
   return 2;
 }
@@ -112,6 +125,8 @@ int main(int argc, char** argv) {
   std::string metrics_path;
   std::string slo_path;
   std::string slo_out;
+  std::string manifest_out;
+  std::string artifacts_dir;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -157,6 +172,10 @@ int main(int argc, char** argv) {
       const auto parsed = parse_scenario(value());
       if (!parsed) return usage();
       scenario = *parsed;
+    } else if (arg == "--manifest-out") {
+      manifest_out = value();
+    } else if (arg == "--artifacts-dir") {
+      artifacts_dir = value();
     } else if (arg == "--bench") {
       bench = true;
     } else {
@@ -165,6 +184,23 @@ int main(int argc, char** argv) {
   }
 
   if (!slo_out.empty() && slo_path.empty()) return usage();
+  if (!artifacts_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(artifacts_dir, ec);
+    if (ec) {
+      std::fprintf(stderr, "multihit-serve: cannot create %s: %s\n",
+                   artifacts_dir.c_str(), ec.message().c_str());
+      return 2;
+    }
+    const auto standard = [&](const char* name) {
+      return (std::filesystem::path(artifacts_dir) / name).string();
+    };
+    if (out_path.empty()) out_path = standard("run.serve.json");
+    if (trace_path.empty()) trace_path = standard("run.trace.json");
+    if (metrics_path.empty()) metrics_path = standard("run.metrics.json");
+    if (slo_out.empty() && !slo_path.empty()) slo_out = standard("run.slo.json");
+    if (manifest_out.empty()) manifest_out = standard("manifest.json");
+  }
   apply_scenario(spec, options, scenario);
   if (!slo_path.empty()) {
     std::ifstream in(slo_path);
@@ -261,6 +297,46 @@ int main(int argc, char** argv) {
       }
       out << obs::slo_report_json(slo).dump() << '\n';
     }
+  }
+
+  if (!manifest_out.empty()) {
+    obs::RunManifest manifest;
+    manifest.driver = "multihit-serve";
+    obs::set_config(manifest, "mix", mix_name(trace.spec.mix));
+    obs::set_config(manifest, "jobs", std::to_string(trace.spec.jobs));
+    obs::set_config(manifest, "seed", std::to_string(trace.spec.seed));
+    obs::set_config(manifest, "gpus", std::to_string(options.gpus));
+    obs::set_config(manifest, "concurrent", std::to_string(options.max_concurrent));
+    obs::set_config(manifest, "queue_cap", std::to_string(options.queue_capacity));
+    obs::set_config(manifest, "quota", std::to_string(options.tenant_quota));
+    obs::set_config(manifest, "invalidate_rate", obs::json_number(spec.invalidate_rate));
+    obs::set_config(manifest, "cache", options.result_cache ? "on" : "off");
+    obs::set_config(manifest, "scenario", scenario_name(scenario));
+    obs::set_config(manifest, "bitops_backend", backend_name(active_backend()));
+    try {
+      const auto add = [&](const char* name, std::string_view schema,
+                           const std::string& path) {
+        if (path.empty()) return;
+        obs::add_artifact_from_file(manifest, name, std::string(schema), path);
+        for (obs::RunArtifact& artifact : manifest.artifacts) {
+          if (artifact.name == name) {
+            artifact.path = obs::manifest_artifact_path(path, manifest_out);
+          }
+        }
+      };
+      add("serve", obs::kServeSchema, out_path);
+      add("trace", obs::kChromeTraceTag, trace_path);
+      add("metrics", obs::kMetricsSchema, metrics_path);
+      add("slo", obs::kSloSchema, slo_out);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "multihit-serve: %s\n", e.what());
+      return 1;
+    }
+    if (!obs::write_manifest(manifest, manifest_out)) {
+      std::fprintf(stderr, "multihit-serve: cannot write %s\n", manifest_out.c_str());
+      return 2;
+    }
+    std::printf("  run manifest written to %s\n", manifest_out.c_str());
   }
 
   if (bench && !options.slo.empty()) {

@@ -15,6 +15,8 @@
 //   $ multihit-obstool hostprof HOSTPROF.json
 //                      [--report-out FILE] [--folded-out FILE]
 //                      [--deterministic-out FILE] [--summary] [--quiet]
+//   $ multihit-obstool diff A B [--tol FILE]
+//                      [--report-out FILE] [--summary] [--quiet]
 //
 // `analyze` loads a --trace-out Chrome trace (and optionally a --metrics-out
 // snapshot), runs the trace analytics engine (critical path, per-phase
@@ -66,6 +68,21 @@
 // (totals vs per-worker and per-sweep sums, claim-histogram mass, ChunkQueue
 // poll invariants) is always crosschecked; any mismatch exits 1.
 //
+// `diff` is the cross-run regression engine (src/obs/diff.hpp): A and B are
+// either multihit.run.v1 manifests (from brca_scaleout / multihit-serve
+// --manifest-out or --artifacts-dir; every inventoried artifact is loaded
+// and its content digest verified) or a pair of individual artifacts of the
+// same kind. Every numeric series in the shared artifacts is compared
+// exactly and classified identical / within-tolerance / improved /
+// regressed / added / removed; `--tol FILE` loads a
+// `tol <series-glob> rel|abs <bound>` spec relaxing named series. On top of
+// the generic pass: critical-path makespan attribution by phase×rank cell,
+// per-kernel profile deltas, incident matching, per-tenant SLO movement,
+// and hostprof wall-clock deltas (informational). `--report-out` writes the
+// multihit.diff.v1 document, byte-identical across repeated invocations. A
+// regression verdict (regressed or removed series, a new incident in B, a
+// newly violated SLO objective) exits 1.
+//
 // All outputs are deterministic: processing the same files twice produces
 // byte-identical artifacts, which scripts/ci.sh uses as the determinism
 // gate.
@@ -83,6 +100,7 @@
 #include <string>
 
 #include "obs/analyze.hpp"
+#include "obs/diff.hpp"
 #include "obs/hostprof.hpp"
 #include "obs/monitor.hpp"
 #include "obs/profile.hpp"
@@ -104,7 +122,9 @@ namespace {
                "                        [--report-out FILE] [--summary] [--quiet]\n"
                "       multihit-obstool hostprof HOSTPROF.json\n"
                "                        [--report-out FILE] [--folded-out FILE]\n"
-               "                        [--deterministic-out FILE] [--summary] [--quiet]\n";
+               "                        [--deterministic-out FILE] [--summary] [--quiet]\n"
+               "       multihit-obstool diff A B [--tol FILE]\n"
+               "                        [--report-out FILE] [--summary] [--quiet]\n";
   std::exit(2);
 }
 
@@ -480,6 +500,63 @@ int run_hostprof(int argc, char** argv) {
   return 0;
 }
 
+int run_diff(int argc, char** argv) {
+  using namespace multihit::obs;
+  std::string path_a, path_b, tol_path, report_out;
+  bool summary = false, quiet = false;
+  for (int a = 2; a < argc; ++a) {
+    const std::string arg = argv[a];
+    const auto next = [&]() -> const char* {
+      if (a + 1 >= argc) usage();
+      return argv[++a];
+    };
+    if (arg == "--tol") {
+      tol_path = next();
+    } else if (arg == "--report-out") {
+      report_out = next();
+    } else if (arg == "--summary") {
+      summary = true;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      usage();
+    } else if (path_a.empty()) {
+      path_a = arg;
+    } else if (path_b.empty()) {
+      path_b = arg;
+    } else {
+      usage();
+    }
+  }
+  if (path_a.empty() || path_b.empty()) usage();
+
+  try {
+    DiffOptions options;
+    if (!tol_path.empty()) options.tolerances = parse_tolerances(read_file(tol_path));
+    const RunInput run_a = load_run(path_a);
+    const RunInput run_b = load_run(path_b);
+    const DiffReport report = diff_runs(run_a, run_b, options);
+
+    if (!report_out.empty() &&
+        !write_file(report_out, diff_report_json(report).dump() + "\n")) {
+      std::cerr << "error: cannot write diff report to " << report_out << "\n";
+      return 1;
+    }
+    if (!quiet) std::cout << diff_text(report, summary);
+    if (diff_regression(report)) {
+      std::cerr << "error: regression: " << report.counts.regressed << " regressed, "
+                << report.counts.removed << " removed series, "
+                << report.incidents.added.size() << " new incident(s), "
+                << report.slo_newly_violated << " newly violated SLO objective(s)\n";
+      return 1;
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -490,5 +567,6 @@ int main(int argc, char** argv) {
   if (command == "monitor") return run_monitor(argc, argv);
   if (command == "slo") return run_slo(argc, argv);
   if (command == "hostprof") return run_hostprof(argc, argv);
+  if (command == "diff") return run_diff(argc, argv);
   usage();
 }

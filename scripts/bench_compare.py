@@ -8,7 +8,11 @@ gate over that trajectory:
 
   1. every record must parse and carry the expected schema/fields;
   2. every series present in the matching bench/baselines/BENCH_<name>.json
-     is compared, and a relative delta beyond --threshold is reported;
+     is compared with a *signed* relative delta; a move beyond --threshold
+     is classed `improved` when it lands in the better direction for that
+     series (lower-is-better heuristic mirroring obs::lower_is_better in
+     src/obs/diff.cpp) and `DRIFT` when it does not — both demand a
+     baseline update, so both gate under --strict;
   3. series in the record but absent from the baseline are reported as NEW —
      unbaselined measurements silently escape the gate otherwise.
 
@@ -80,6 +84,17 @@ def series_map(record: dict) -> dict[str, float]:
     return {point["name"]: float(point["value"]) for point in record["series"]}
 
 
+HIGHER_BETTER = ("attainment", "admission", "occupancy", "efficiency",
+                 "throughput", "per_sec", "speedup", "cache_hit",
+                 "completed", "busy_fraction", "headroom")
+
+
+def lower_is_better(name: str) -> bool:
+    """Mirrors obs::lower_is_better (src/obs/diff.cpp) so the Python and C++
+    gates label the same move the same way."""
+    return not any(token in name for token in HIGHER_BETTER)
+
+
 def compare(path: str, record: dict, baseline_dir: str, threshold: float,
             drift: list[str], unbaselined: list[str]) -> None:
     baseline_path = os.path.join(baseline_dir, f"BENCH_{record['bench']}.json")
@@ -97,16 +112,24 @@ def compare(path: str, record: dict, baseline_dir: str, threshold: float,
             continue
         value = current[name]
         if base_value == 0.0:
-            delta = 0.0 if value == 0.0 else math.inf
+            delta = 0.0 if value == 0.0 else math.copysign(math.inf, value)
         else:
-            delta = abs(value - base_value) / abs(base_value)
-        marker = "DRIFT" if delta > threshold else "ok   "
-        print(f"  {marker} {record['bench']}.{name}: {base_value:.6g} -> "
+            delta = (value - base_value) / abs(base_value)
+        beyond = abs(delta) > threshold
+        if not beyond:
+            marker = "ok"
+        elif (value < base_value) == lower_is_better(name):
+            marker = "improved"
+        else:
+            marker = "DRIFT"
+        print(f"  {marker:<8} {record['bench']}.{name}: {base_value:.6g} -> "
               f"{value:.6g} ({delta:+.2%})")
-        if delta > threshold:
-            drift.append(f"{record['bench']}.{name}: {base_value:.6g} -> {value:.6g}")
+        if beyond:
+            drift.append(f"{record['bench']}.{name}: {base_value:.6g} -> "
+                         f"{value:.6g} ({delta:+.2%}, {marker})")
     for name in sorted(set(current) - set(base)):
-        print(f"  NEW   {record['bench']}.{name}: {current[name]:.6g} (no baseline)")
+        print(f"  {'NEW':<8} {record['bench']}.{name}: {current[name]:.6g} "
+              "(no baseline)")
         unbaselined.append(f"{record['bench']}.{name}: {current[name]:.6g}")
 
 

@@ -285,6 +285,53 @@ for scenario in overload starvation burn thrash; do
 done
 echo "serve SLO byte-identical offline replay, 4/4 planted pathologies detected, clean trace silent"
 
+# Cross-run regression gate: run manifests + `obstool diff`.
+#  1. Self-identity: two identical equi-area runs (--artifacts-dir writes the
+#     standard artifact set plus a multihit.run.v1 manifest) must diff clean
+#     (exit 0), and the multihit.diff.v1 report must be byte-identical across
+#     repeated diff invocations.
+#  2. Backend swap: scalar vs auto with a host-threaded sweep must diff clean
+#     under the committed examples/regression.tol spec — every simulated
+#     series exact, wall clock confined to tolerated/informational sections.
+#  3. Planted regression: equi-area vs equi-distance must diff dirty (exit 1)
+#     with the makespan delta attributed to phase×rank cells, and the dirty
+#     report must be byte-identical across invocations too.
+#  4. bench_diff pins the engine's own invariants (attribution exactness,
+#     round-trip identity) against the committed baseline under --strict.
+echo "=== cross-run diff gate ==="
+diff_dir="build/diff_smoke"
+rm -rf "$diff_dir"
+mkdir -p "$diff_dir"
+for run in ea_1 ea_2; do
+  build/examples/brca_scaleout 2 --artifacts-dir "$diff_dir/$run" > /dev/null
+done
+build/examples/brca_scaleout 2 --scheduler ed --artifacts-dir "$diff_dir/ed_1" > /dev/null
+build/examples/multihit-obstool diff \
+  "$diff_dir/ea_1/manifest.json" "$diff_dir/ea_2/manifest.json" \
+  --report-out "$diff_dir/self.diff.json" --summary
+for backend in scalar auto; do
+  MULTIHIT_BITOPS="$backend" build/examples/brca_scaleout 2 --host-threads 2 \
+    --artifacts-dir "$diff_dir/$backend" > /dev/null
+done
+build/examples/multihit-obstool diff \
+  "$diff_dir/scalar/manifest.json" "$diff_dir/auto/manifest.json" \
+  --tol examples/regression.tol --summary
+for pass in 1 2; do
+  if build/examples/multihit-obstool diff \
+    "$diff_dir/ea_1/manifest.json" "$diff_dir/ed_1/manifest.json" \
+    --report-out "$diff_dir/sched_$pass.diff.json" --quiet > /dev/null 2>&1; then
+    echo "ERROR: equi-area vs equi-distance should diff dirty" >&2
+    exit 1
+  fi
+done
+cmp "$diff_dir/sched_1.diff.json" "$diff_dir/sched_2.diff.json"
+grep -q 'attributed to' "$diff_dir/sched_1.diff.json"
+MULTIHIT_BENCH_DIR="$bench_dir" build/bench/bench_diff > /dev/null
+if command -v python3 > /dev/null; then
+  python3 scripts/bench_compare.py --strict "$bench_dir"/BENCH_diff.json
+fi
+echo "cross-run diff gate green (self clean, backend swap tolerated, scheduler swap attributed)"
+
 # The registry's lone 2-hit type once crashed cancer_panel (a 4-hit kernel's
 # ranks unranked as 2-hit combinations → wild gene indices); the default
 # panel loop only covers hits >= 4, so drive the BRCA path explicitly.

@@ -7,9 +7,14 @@ fixtures in a tempdir and asserts the full matrix:
 
   valid record matching its baseline          -> 0 (default and --strict)
   bad schema / unreadable JSON                -> 1 (always)
-  drifting series                             -> 0 default, 2 --strict
+  drifting series (worse direction)           -> 0 default, 2 --strict
+  improved series (better direction)          -> 0 default, 2 --strict
   disappeared series (in baseline, not run)   -> 0 default, 2 --strict
   new series (in run, not baseline)           -> 0 default + NEW warn, 2 --strict
+
+Deltas are signed ((value-base)/|base|), so the output also pins the
+direction: a time_* series moving 10 -> 15 must print +50.00% and DRIFT,
+10 -> 5 must print -50.00% and improved.
 
 Run directly (`python3 scripts/test_bench_compare.py`) or via ctest
 (`ctest -R bench_compare`). No third-party dependencies.
@@ -103,12 +108,32 @@ def main() -> int:
                               bench_record("scaling",
                                            {"time_100": 15.0, "time_1000": 1.2}))
         failures += check("drift/default", run([*base_args, drifting]), 0,
-                          ["DRIFT", "drifted beyond"])
+                          ["DRIFT", "+50.00%", "drifted beyond"])
         failures += check("drift/strict",
                           run([*base_args, "--strict", drifting]), 2, ["DRIFT"])
         failures += check("drift/wide-threshold",
                           run([*base_args, "--strict", "--threshold", "0.60",
                                drifting]), 0)
+
+        # 3b. The same magnitude of movement in the *better* direction for the
+        # series (time_*: lower is better) is classed improved — friendlier
+        # label, same strict-mode gate: the baseline is stale either way.
+        improving = write_json(os.path.join(tmp, "BENCH_improve.json"),
+                               bench_record("scaling",
+                                            {"time_100": 5.0, "time_1000": 1.2}))
+        failures += check("improved/default", run([*base_args, improving]), 0,
+                          ["improved", "-50.00%"])
+        failures += check("improved/strict",
+                          run([*base_args, "--strict", improving]), 2,
+                          ["improved"])
+        # 3c. Higher-is-better names flip the labels: a throughput gain is
+        # improved, not DRIFT.
+        write_json(os.path.join(baseline_dir, "BENCH_rates.json"),
+                   bench_record("rates", {"combos_per_sec": 100.0}))
+        faster = write_json(os.path.join(tmp, "BENCH_rates.json"),
+                            bench_record("rates", {"combos_per_sec": 150.0}))
+        failures += check("higher-better/default", run([*base_args, faster]), 0,
+                          ["improved", "+50.00%"])
 
         # 4. A baselined series that vanished from the run counts as drift.
         disappeared = write_json(os.path.join(tmp, "BENCH_gone.json"),

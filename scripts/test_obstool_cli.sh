@@ -124,6 +124,38 @@ expect hostprof_empty_profile 0 hostprof "$TMP/empty.hostprof.json" --quiet
 hostprof_doc 5 > "$TMP/corrupt.hostprof.json"
 expect hostprof_corrupted_totals 1 hostprof "$TMP/corrupt.hostprof.json" --quiet
 
+# --- diff subcommand ------------------------------------------------------
+# Usage: exactly two run operands.
+expect diff_missing_operands 2 diff
+expect_usage_on_stderr diff_missing_operands_usage diff
+expect diff_one_operand 2 diff a.json
+expect diff_extra_operand 2 diff a.json b.json c.json
+expect diff_unknown_flag 2 diff a.json b.json --bogus
+expect diff_flag_missing_value 2 diff a.json b.json --tol
+
+# Runtime errors: unreadable/malformed/undiffable inputs, malformed tol specs.
+expect diff_nonexistent_input 1 diff "$TMP/no-such-run.json" "$TMP/no-such-run.json"
+expect diff_malformed_input 1 diff "$TMP/garbage.json" "$TMP/garbage.json"
+printf '{"schema":"bogus.v9"}' > "$TMP/unknown.json"
+expect diff_unknown_schema 1 diff "$TMP/unknown.json" "$TMP/unknown.json"
+# A lone Chrome trace has no comparable series — refused, not vacuously passed.
+expect diff_undiffable_artifact 1 diff "$TMP/empty.trace.json" "$TMP/empty.trace.json"
+
+printf '{"schema":"multihit.metrics.v1","counters":[{"name":"engine.iterations","labels":{},"value":5}],"gauges":[],"histograms":[]}' \
+  > "$TMP/metrics_a.json"
+printf 'tol metrics.* sideways 0.1\n' > "$TMP/bad.tol"
+expect diff_bad_tol 1 diff "$TMP/metrics_a.json" "$TMP/metrics_a.json" --tol "$TMP/bad.tol"
+
+# Verdicts: a self-diff is clean (exit 0); a planted counter regression is
+# not (exit 1) — unless a committed tolerance rule covers it (exit 0 again).
+expect diff_self 0 diff "$TMP/metrics_a.json" "$TMP/metrics_a.json" --quiet
+printf '{"schema":"multihit.metrics.v1","counters":[{"name":"engine.iterations","labels":{},"value":7}],"gauges":[],"histograms":[]}' \
+  > "$TMP/metrics_b.json"
+expect diff_regression 1 diff "$TMP/metrics_a.json" "$TMP/metrics_b.json" --quiet
+printf 'tol metrics.counter.engine.* rel 0.5\n' > "$TMP/cover.tol"
+expect diff_tolerated 0 diff "$TMP/metrics_a.json" "$TMP/metrics_b.json" \
+  --tol "$TMP/cover.tol" --quiet
+
 if [ "$fails" -ne 0 ]; then
   echo "$fails CLI contract check(s) failed" >&2
   exit 1

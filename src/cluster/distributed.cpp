@@ -12,6 +12,15 @@
 
 namespace multihit {
 
+const char* scheduler_name(SchedulerKind kind) noexcept {
+  switch (kind) {
+    case SchedulerKind::kEquiDistance: return "equi_distance";
+    case SchedulerKind::kEquiArea: return "equi_area";
+    case SchedulerKind::kMemoryAware: return "memory_aware";
+  }
+  return "?";
+}
+
 namespace {
 
 WorkloadModel make_model(const DistributedOptions& options, std::uint32_t genes) {

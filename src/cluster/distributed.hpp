@@ -50,6 +50,10 @@ namespace multihit {
 /// future-work item 4: equi-area over traffic-reweighted workloads.
 enum class SchedulerKind { kEquiDistance, kEquiArea, kMemoryAware };
 
+/// Stable short name ("equi_distance" / "equi_area" / "memory_aware") for
+/// run manifests and logs.
+const char* scheduler_name(SchedulerKind kind) noexcept;
+
 struct DistributedOptions {
   std::uint32_t hits = 4;             ///< 2, 3, 4, or 5
   Scheme4 scheme4 = Scheme4::k3x1;    ///< used when hits == 4

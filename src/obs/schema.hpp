@@ -36,6 +36,64 @@ inline constexpr std::string_view kSloSchema = "multihit.slo.v1";
 /// Host-threaded sweep wall-clock profiles (brca_scaleout
 /// --host-profile-out, obstool hostprof --report-out).
 inline constexpr std::string_view kHostprofSchema = "multihit.hostprof.v1";
+/// Per-invocation run manifests (--manifest-out / --artifacts-dir): the
+/// driver's configuration plus a digest inventory of every emitted artifact.
+inline constexpr std::string_view kRunSchema = "multihit.run.v1";
+/// Cross-run regression reports (obstool diff --report-out).
+inline constexpr std::string_view kDiffSchema = "multihit.diff.v1";
+
+/// Chrome trace-event files (--trace-out) carry no top-level "schema" key —
+/// the format is Chrome's, not ours — so run manifests inventory them under
+/// this pseudo-tag. Never appears inside a document.
+inline constexpr std::string_view kChromeTraceTag = "chrome.trace";
+
+/// One row of the schema registry: the tag and the short artifact kind the
+/// diff engine keys its loaders and series prefixes on.
+struct SchemaEntry {
+  std::string_view tag;
+  std::string_view kind;
+};
+
+/// Every artifact schema this repository emits, in one table. The diff
+/// engine resolves loaders through this registry; adding an artifact kind
+/// means adding a row here, not teaching another tool a new string.
+inline constexpr SchemaEntry kSchemaRegistry[] = {
+    {kMetricsSchema, "metrics"}, {kAnalysisSchema, "analysis"},
+    {kProfileSchema, "profile"}, {kBenchSchema, "bench"},
+    {kHealthSchema, "health"},   {kTruthSchema, "truth"},
+    {kServeSchema, "serve"},     {kSloSchema, "slo"},
+    {kHostprofSchema, "hostprof"}, {kRunSchema, "run"},
+    {kDiffSchema, "diff"},       {kChromeTraceTag, "trace"},
+};
+
+/// Short kind for a schema tag ("" when the tag is not in the registry).
+constexpr std::string_view schema_kind(std::string_view tag) noexcept {
+  for (const SchemaEntry& entry : kSchemaRegistry) {
+    if (entry.tag == tag) return entry.kind;
+  }
+  return {};
+}
+
+/// Schema tag for a registered artifact kind ("" when unknown).
+constexpr std::string_view schema_for_kind(std::string_view kind) noexcept {
+  for (const SchemaEntry& entry : kSchemaRegistry) {
+    if (entry.kind == kind) return entry.tag;
+  }
+  return {};
+}
+
+/// The top-level "schema" tag of a parsed document; Chrome trace files
+/// (top-level "traceEvents", no tag) report kChromeTraceTag, anything else
+/// without a string tag reports "".
+inline std::string_view document_schema(const JsonValue& doc) {
+  if (!doc.is_object()) return {};
+  if (const JsonValue* schema = doc.find("schema");
+      schema && schema->is_string()) {
+    return schema->as_string();
+  }
+  if (doc.find("traceEvents")) return kChromeTraceTag;
+  return {};
+}
 
 /// Validates `doc`'s top-level "schema" tag and throws `Error` on mismatch
 /// with a message naming both the expected and the found schema — the found
